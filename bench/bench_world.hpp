@@ -1,0 +1,131 @@
+#pragma once
+
+// Shared bench-scale world. Every experiment binary regenerates its table or
+// figure from this world; the scale is adjustable without recompiling:
+//
+//   TL_BENCH_SCALE=0.05 TL_BENCH_UES=60000 TL_BENCH_DAYS=14 ./bench_...
+//
+// Defaults keep a full bench sweep (one process per experiment) at a few
+// minutes while leaving every reported share and shape stable.
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/report.hpp"
+#include "core/simulator.hpp"
+#include "telemetry/aggregates.hpp"
+
+namespace tl::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline core::StudyConfig bench_config() {
+  core::StudyConfig cfg;
+  cfg.scale = env_double("TL_BENCH_SCALE", 0.02);
+  cfg.days = static_cast<int>(env_double("TL_BENCH_DAYS", 7));
+  cfg.seed = static_cast<std::uint64_t>(env_double("TL_BENCH_SEED", 42));
+  cfg.census.districts = 320;
+  cfg.census.total_population = 47'000'000;
+  cfg.finalize();
+  cfg.population.count =
+      static_cast<std::uint32_t>(env_double("TL_BENCH_UES", 25'000));
+  return cfg;
+}
+
+/// World with every aggregator attached; simulation runs once per process.
+struct World {
+  core::StudyConfig config;
+  std::unique_ptr<core::Simulator> sim;
+  std::unique_ptr<telemetry::TemporalAggregator> temporal;
+  std::unique_ptr<telemetry::SectorDayAggregator> sector_day;
+  std::unique_ptr<telemetry::DistrictAggregator> districts;
+  std::unique_ptr<telemetry::CauseAggregator> causes;
+  std::unique_ptr<telemetry::DurationAggregator> durations;
+  std::unique_ptr<telemetry::TypeMixAggregator> mix;
+  telemetry::UeDayStore ue_days;
+};
+
+/// Builds (once) the world *with* a full simulation run.
+inline const World& simulated_world() {
+  static const World world = [] {
+    World w;
+    w.config = bench_config();
+    std::cerr << "[bench] building world: scale=" << w.config.scale
+              << " ues=" << w.config.population.count << " days=" << w.config.days
+              << "\n";
+    w.sim = std::make_unique<core::Simulator>(w.config);
+    const auto n_sectors = w.sim->deployment().sectors().size();
+    const auto n_districts = w.sim->country().districts().size();
+    const auto n_makers = w.sim->catalog().manufacturers().size();
+    w.temporal =
+        std::make_unique<telemetry::TemporalAggregator>(n_sectors, w.config.days);
+    w.sector_day =
+        std::make_unique<telemetry::SectorDayAggregator>(n_sectors, w.config.days);
+    w.districts = std::make_unique<telemetry::DistrictAggregator>(n_districts, n_makers);
+    w.causes = std::make_unique<telemetry::CauseAggregator>(w.config.days, n_makers);
+    w.durations = std::make_unique<telemetry::DurationAggregator>();
+    w.mix = std::make_unique<telemetry::TypeMixAggregator>(w.config.days);
+    w.sim->add_sink(w.temporal.get());
+    w.sim->add_sink(w.sector_day.get());
+    w.sim->add_sink(w.districts.get());
+    w.sim->add_sink(w.causes.get());
+    w.sim->add_sink(w.durations.get());
+    w.sim->add_sink(w.mix.get());
+    w.sim->add_metrics_sink(&w.ue_days);
+    std::cerr << "[bench] simulating " << w.config.days << " days...\n";
+    w.sim->run();
+    std::cerr << "[bench] " << w.sim->records_emitted() << " records streamed\n";
+    return w;
+  }();
+  return world;
+}
+
+/// World tuned for the §6.3 modeling experiments (Tables 4-9, Fig. 16).
+///
+/// The paper's sector-day dataset has a median of ~2k HOs per observation;
+/// reproducing the regressions needs comparable per-sector volumes, so this
+/// world shrinks the deployment harder than the UE population (few hundred
+/// source sectors, tens of thousands of UEs). Override via TL_MODEL_*.
+inline const World& modeling_world() {
+  static const World world = [] {
+    World w;
+    w.config = bench_config();
+    w.config.scale = env_double("TL_MODEL_SITE_SCALE", 0.004);
+    w.config.days = static_cast<int>(env_double("TL_MODEL_DAYS", 7));
+    w.config.finalize();
+    w.config.population.count =
+        static_cast<std::uint32_t>(env_double("TL_MODEL_UES", 22'000));
+    std::cerr << "[bench] building modeling world: site-scale=" << w.config.scale
+              << " ues=" << w.config.population.count << " days=" << w.config.days
+              << "\n";
+    w.sim = std::make_unique<core::Simulator>(w.config);
+    const auto n_sectors = w.sim->deployment().sectors().size();
+    w.sector_day =
+        std::make_unique<telemetry::SectorDayAggregator>(n_sectors, w.config.days);
+    w.sim->add_sink(w.sector_day.get());
+    std::cerr << "[bench] simulating " << w.config.days << " days...\n";
+    w.sim->run();
+    std::cerr << "[bench] " << w.sim->records_emitted() << " records streamed\n";
+    return w;
+  }();
+  return world;
+}
+
+/// Builds (once) a world *without* running the simulation — enough for the
+/// topology/devices/census experiments.
+inline const World& static_world() {
+  static const World world = [] {
+    World w;
+    w.config = bench_config();
+    std::cerr << "[bench] building static world: scale=" << w.config.scale << "\n";
+    w.sim = std::make_unique<core::Simulator>(w.config);
+    return w;
+  }();
+  return world;
+}
+
+}  // namespace tl::bench

@@ -1,0 +1,40 @@
+#pragma once
+
+// Shared printing of regression results in the paper's table format.
+
+#include <iostream>
+
+#include "analysis/linear_model.hpp"
+#include "util/table.hpp"
+
+namespace tl::bench {
+
+inline void print_model(std::ostream& os, const analysis::LinearModel& model) {
+  util::TextTable t{{"Feature", "Coeff.", "Std Err", "t value", "Pr(>|t|)", "95% CI"}};
+  for (const auto& term : model.terms) {
+    t.add_row({term.name, util::TextTable::num(term.coefficient, 3),
+               util::TextTable::num(term.std_error, 5),
+               util::TextTable::num(term.t_value, 1),
+               term.p_value < 1e-12 ? "~0" : util::TextTable::num(term.p_value, 6),
+               util::TextTable::num(term.ci_lo, 2) + ", " +
+                   util::TextTable::num(term.ci_hi, 2)});
+  }
+  t.print(os);
+  os << "N = " << model.n << ", RMSE = " << util::TextTable::num(model.rmse, 3)
+     << ", R^2 = " << util::TextTable::num(model.r_squared, 4)
+     << ", AIC = " << util::TextTable::num(model.aic, 0) << "\n";
+}
+
+inline void print_quantile_fit(std::ostream& os, const analysis::QuantileFit& fit) {
+  util::TextTable t{{"Feature; tau", "Coeff.", "Std Err", "t value", "Pr(>|t|)"}};
+  for (const auto& term : fit.terms) {
+    t.add_row({term.name + "; tau=" + util::TextTable::num(fit.tau, 1),
+               util::TextTable::num(term.coefficient, 3),
+               util::TextTable::num(term.std_error, 5),
+               util::TextTable::num(term.t_value, 1),
+               term.p_value < 1e-12 ? "~0" : util::TextTable::num(term.p_value, 6)});
+  }
+  t.print(os);
+}
+
+}  // namespace tl::bench

@@ -1,0 +1,102 @@
+// Daily network-operations report — the view an MNO's NOC would pull from
+// this pipeline every morning: control-plane load per entity, handover
+// health, ping-pong waste, QoS damage, and the worst failure causes of the
+// day. Exercises the extension APIs end to end.
+//
+//   $ network_ops_report [scale] [days]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/control_plane.hpp"
+#include "core/qos_model.hpp"
+#include "core/simulator.hpp"
+#include "telemetry/aggregates.hpp"
+#include "telemetry/pingpong.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tl;
+
+  core::StudyConfig config = core::StudyConfig::bench_scale();
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+  config.days = argc > 2 ? std::atoi(argv[2]) : 1;
+  config.finalize();
+  config.population.count = 20'000;
+
+  std::cout << "Simulating " << config.days << " day(s) of network operation...\n";
+  core::Simulator sim{config};
+  telemetry::PingPongDetector pingpong{10'000};
+  core::QosAggregator qos;
+  telemetry::CauseAggregator causes{config.days, sim.catalog().manufacturers().size()};
+  telemetry::UeDayStore ue_days;
+  sim.add_sink(&pingpong);
+  sim.add_sink(&qos);
+  sim.add_sink(&causes);
+  sim.add_metrics_sink(&ue_days);
+  sim.run();
+
+  // Control-plane load: replay the generator over the UE-day HO counts.
+  const core::ControlPlaneGenerator control{sim.country(), sim.activity()};
+  telemetry::ControlEventCounter control_counter;
+  for (const auto& row : ue_days.rows()) {
+    control.generate_day(sim.population().ue(row.ue), row.day, row.handovers,
+                         control_counter);
+  }
+
+  util::print_section(std::cout, "Control-plane load (all days)");
+  util::TextTable cp{{"Event", "Count", "Per UE per day"}};
+  const double ue_days_n = static_cast<double>(ue_days.rows().size());
+  for (int t = 0; t < static_cast<int>(telemetry::kControlEventTypes); ++t) {
+    const auto type = static_cast<telemetry::ControlEventType>(t);
+    cp.add_row({std::string{telemetry::to_string(type)},
+                std::to_string(control_counter.count(type)),
+                util::TextTable::num(control_counter.count(type) / ue_days_n, 1)});
+  }
+  cp.add_row({"Handover", std::to_string(sim.records_emitted()),
+              util::TextTable::num(sim.records_emitted() / ue_days_n, 1)});
+  cp.print(std::cout);
+
+  util::print_section(std::cout, "Handover health");
+  util::TextTable hh{{"Metric", "Value"}};
+  hh.add_row({"handovers", std::to_string(pingpong.total_handovers())});
+  hh.add_row({"ping-pong rate", util::TextTable::pct(pingpong.ping_pong_rate(), 2)});
+  hh.add_row({"wasted PP signaling",
+              util::TextTable::num(pingpong.wasted_signaling_ms() / 1'000.0, 1) + " s"});
+  hh.add_row({"mean interruption (success)",
+              util::TextTable::num(qos.mean_interruption_success_ms(), 1) + " ms"});
+  hh.add_row({"mean interruption (failure)",
+              util::TextTable::num(qos.mean_interruption_failure_ms(), 1) + " ms"});
+  hh.add_row({"user-plane loss",
+              util::TextTable::num(qos.total_lost_mbytes() / 1'024.0, 2) + " GB"});
+  hh.add_row({"loss from vertical HOs",
+              util::TextTable::pct(qos.vertical_share_of_loss(), 1)});
+  hh.print(std::cout);
+
+  util::print_section(std::cout, "Top failure causes today");
+  util::TextTable fc{{"Cause", "share of failures"}};
+  for (std::size_t b = 0; b < telemetry::CauseAggregator::kBuckets; ++b) {
+    const auto share = causes.daily_share(b);
+    if (share.mean < 0.03) continue;
+    fc.add_row({telemetry::CauseAggregator::bucket_label(b),
+                util::TextTable::pct(share.mean, 1)});
+  }
+  fc.print(std::cout);
+
+  // Regional core entity rollup.
+  util::print_section(std::cout, "Core entities");
+  util::TextTable ce{{"Region", "MME HOs", "MME HOF rate", "SGSN relocations",
+                      "MSC SRVCC"}};
+  for (const auto region : geo::kAllRegions) {
+    const auto& mme = sim.core_network().mme(region);
+    const auto& sgsn = sim.core_network().sgsn(region);
+    const auto& msc = sim.core_network().msc(region);
+    ce.add_row({std::string{geo::to_string(region)},
+                std::to_string(mme.handovers.procedures),
+                util::TextTable::pct(mme.handovers.failure_rate(), 2),
+                std::to_string(sgsn.relocations.procedures),
+                std::to_string(msc.srvcc.procedures)});
+  }
+  ce.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,26 @@
+#pragma once
+
+// Association measures: Pearson (Fig. 6 density correlation 0.97, Fig. 7
+// HO/active-sector correlation 0.9), Spearman, and the R^2 of a simple
+// linear fit (Fig. 5 census-vs-inferred population, R^2 = 0.92).
+
+#include <span>
+
+namespace tl::analysis {
+
+/// Pearson correlation coefficient; throws if inputs differ in length or
+/// have fewer than two points or zero variance.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Simple linear regression y = a + b x.
+struct SimpleFit {
+  double intercept = 0;
+  double slope = 0;
+  double r_squared = 0;
+};
+SimpleFit simple_linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace tl::analysis

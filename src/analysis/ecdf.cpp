@@ -1,0 +1,38 @@
+#include "analysis/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tl::analysis {
+
+Ecdf::Ecdf(std::span<const double> samples) : sorted_(samples.begin(), samples.end()) {
+  if (sorted_.empty()) throw std::invalid_argument{"Ecdf: empty input"};
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double p) const {
+  if (p <= 0.0 || p > 1.0) throw std::invalid_argument{"Ecdf::inverse: p outside (0,1]"};
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size())) - 1.0);
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<Ecdf::CurvePoint> Ecdf::curve(std::size_t points) const {
+  if (points < 2) throw std::invalid_argument{"Ecdf::curve: need at least 2 points"};
+  std::vector<CurvePoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p = static_cast<double>(i + 1) / static_cast<double>(points);
+    const double x = inverse(p);
+    out.push_back({x, at(x)});
+  }
+  return out;
+}
+
+}  // namespace tl::analysis

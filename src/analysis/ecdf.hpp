@@ -1,0 +1,36 @@
+#pragma once
+
+// Empirical cumulative distribution functions (Figs. 8, 10, 13, 16).
+
+#include <span>
+#include <vector>
+
+namespace tl::analysis {
+
+class Ecdf {
+ public:
+  /// Builds from unsorted samples. Throws on empty input.
+  explicit Ecdf(std::span<const double> samples);
+
+  /// F(x) = fraction of samples <= x.
+  double at(double x) const noexcept;
+
+  /// Inverse: smallest sample value v with F(v) >= p, p in (0, 1].
+  double inverse(double p) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+  /// Evaluates F at `points` evenly spaced sample values — a compact curve
+  /// for printing ("series" output of the figure benches).
+  struct CurvePoint {
+    double x;
+    double f;
+  };
+  std::vector<CurvePoint> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace tl::analysis

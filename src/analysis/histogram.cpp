@@ -1,0 +1,90 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tl::analysis {
+
+Histogram::Histogram(std::vector<double> edges, bool log_scale)
+    : edges_(std::move(edges)), log_scale_(log_scale) {
+  bins_.resize(edges_.size() - 1);
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i].lo = edges_[i];
+    bins_[i].hi = edges_[i + 1];
+  }
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument{"Histogram::linear: bad range"};
+  std::vector<double> edges(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(bins);
+  }
+  return Histogram{std::move(edges), false};
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+  if (bins == 0 || lo <= 0.0 || hi <= lo) {
+    throw std::invalid_argument{"Histogram::logarithmic: bad range"};
+  }
+  std::vector<double> edges(bins + 1);
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) / static_cast<double>(bins));
+  }
+  return Histogram{std::move(edges), true};
+}
+
+std::size_t Histogram::bin_index(double x) const noexcept {
+  if (x < edges_.front()) return npos;
+  if (x > edges_.back()) return npos;
+  if (x == edges_.back()) return bins_.size() - 1;
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  return static_cast<std::size_t>(it - edges_.begin()) - 1;
+}
+
+void Histogram::add(double x) noexcept {
+  const std::size_t idx = bin_index(x);
+  if (idx == npos) {
+    if (x < edges_.front()) {
+      ++underflow_;
+    } else {
+      ++overflow_;
+    }
+    return;
+  }
+  ++bins_[idx].count;
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (const double x : xs) add(x);
+}
+
+std::string Histogram::label(std::size_t bin) const {
+  if (bin >= bins_.size()) throw std::out_of_range{"Histogram::label"};
+  char buf[80];
+  if (log_scale_) {
+    std::snprintf(buf, sizeof buf, "[%.3g, %.3g)", bins_[bin].lo, bins_[bin].hi);
+  } else {
+    std::snprintf(buf, sizeof buf, "[%.2f, %.2f)", bins_[bin].lo, bins_[bin].hi);
+  }
+  return buf;
+}
+
+std::vector<std::vector<double>> group_by_bins(const Histogram& h,
+                                               std::span<const double> x,
+                                               std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument{"group_by_bins: length mismatch"};
+  std::vector<std::vector<double>> groups(h.bins().size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t bin = h.bin_index(x[i]);
+    if (bin != Histogram::npos) groups[bin].push_back(y[i]);
+  }
+  return groups;
+}
+
+}  // namespace tl::analysis

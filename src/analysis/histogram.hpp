@@ -1,0 +1,57 @@
+#pragma once
+
+// Binning utilities for the figure reproductions: linear bins (Fig. 7's
+// 30-minute series) and logarithmic bins (Fig. 13's mobility-metric axes).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tl::analysis {
+
+struct Bin {
+  double lo = 0;      // inclusive
+  double hi = 0;      // exclusive (last bin inclusive)
+  std::size_t count = 0;
+};
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi).
+  static Histogram linear(double lo, double hi, std::size_t bins);
+  /// Log-spaced bins over [lo, hi), lo > 0.
+  static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  /// Bin index for x, or npos if outside range.
+  std::size_t bin_index(double x) const noexcept;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  const std::vector<Bin>& bins() const noexcept { return bins_; }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+
+  /// "[1e2, 1e3)"-style label of a bin.
+  std::string label(std::size_t bin) const;
+
+ private:
+  Histogram(std::vector<double> edges, bool log_scale);
+
+  std::vector<double> edges_;  // bins_.size() + 1 ascending edges
+  std::vector<Bin> bins_;
+  bool log_scale_ = false;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Groups values of `y` by the bin of the paired `x` (same length); returns
+/// one vector of y-values per bin. Used for "HOF rate vs binned mobility".
+std::vector<std::vector<double>> group_by_bins(const Histogram& h,
+                                               std::span<const double> x,
+                                               std::span<const double> y);
+
+}  // namespace tl::analysis

@@ -1,0 +1,269 @@
+#include "analysis/linear_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/matrix.hpp"
+#include "analysis/special_functions.hpp"
+#include "util/distributions.hpp"
+
+namespace tl::analysis {
+
+DesignBuilder::DesignBuilder(std::size_t n_observations) : n_(n_observations) {
+  if (n_ == 0) throw std::invalid_argument{"DesignBuilder: zero observations"};
+}
+
+void DesignBuilder::add_numeric(std::string name, std::span<const double> values) {
+  if (values.size() != n_) throw std::invalid_argument{"add_numeric: length mismatch"};
+  names_.push_back(std::move(name));
+  columns_.emplace_back(values.begin(), values.end());
+}
+
+void DesignBuilder::add_categorical(std::string name, std::span<const std::uint32_t> codes,
+                                    std::vector<std::string> level_names,
+                                    std::uint32_t baseline) {
+  if (codes.size() != n_) throw std::invalid_argument{"add_categorical: length mismatch"};
+  if (baseline >= level_names.size()) {
+    throw std::invalid_argument{"add_categorical: baseline out of range"};
+  }
+  for (const std::uint32_t c : codes) {
+    if (c >= level_names.size()) {
+      throw std::invalid_argument{"add_categorical: code out of range"};
+    }
+  }
+  for (std::uint32_t level = 0; level < level_names.size(); ++level) {
+    if (level == baseline) continue;
+    std::vector<double> indicator(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (codes[i] == level) indicator[i] = 1.0;
+    }
+    names_.push_back(name + ": " + level_names[level]);
+    columns_.push_back(std::move(indicator));
+  }
+}
+
+std::vector<double> DesignBuilder::build_matrix() const {
+  const std::size_t p = parameters();
+  std::vector<double> x(n_ * p);
+  for (std::size_t r = 0; r < n_; ++r) {
+    x[r * p] = 1.0;
+    for (std::size_t c = 0; c < columns_.size(); ++c) x[r * p + c + 1] = columns_[c][r];
+  }
+  return x;
+}
+
+namespace {
+
+/// Weighted Gram accumulation without materializing X: columns are the
+/// design's covariates; the intercept is implicit column 0.
+struct GramAccumulator {
+  const DesignBuilder& design;
+  const std::vector<double> x;  // row-major design incl. intercept
+  std::size_t n;
+  std::size_t p;
+
+  explicit GramAccumulator(const DesignBuilder& d)
+      : design(d), x(d.build_matrix()), n(d.observations()), p(d.parameters()) {}
+
+  Matrix weighted_gram(std::span<const double> w) const {
+    Matrix g(p, p);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double wr = w.empty() ? 1.0 : w[r];
+      if (wr == 0.0) continue;
+      const double* row = x.data() + r * p;
+      for (std::size_t i = 0; i < p; ++i) {
+        const double vi = wr * row[i];
+        if (vi == 0.0) continue;
+        for (std::size_t j = i; j < p; ++j) g(i, j) += vi * row[j];
+      }
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+    }
+    return g;
+  }
+
+  std::vector<double> weighted_xty(std::span<const double> y,
+                                   std::span<const double> w) const {
+    std::vector<double> b(p, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double wy = (w.empty() ? 1.0 : w[r]) * y[r];
+      if (wy == 0.0) continue;
+      const double* row = x.data() + r * p;
+      for (std::size_t c = 0; c < p; ++c) b[c] += row[c] * wy;
+    }
+    return b;
+  }
+
+  double predict(std::size_t r, std::span<const double> beta) const {
+    const double* row = x.data() + r * p;
+    double yhat = 0.0;
+    for (std::size_t c = 0; c < p; ++c) yhat += row[c] * beta[c];
+    return yhat;
+  }
+};
+
+std::vector<std::string> term_names_with_intercept(const DesignBuilder& d) {
+  std::vector<std::string> names;
+  names.reserve(d.parameters());
+  names.emplace_back("(Intercept)");
+  for (const auto& n : d.term_names()) names.push_back(n);
+  return names;
+}
+
+}  // namespace
+
+const Term& LinearModel::term(const std::string& name) const {
+  for (const auto& t : terms) {
+    if (t.name == name) return t;
+  }
+  throw std::out_of_range{"LinearModel::term: no term named " + name};
+}
+
+LinearModel fit_ols(const DesignBuilder& design, std::span<const double> y) {
+  const std::size_t n = design.observations();
+  const std::size_t p = design.parameters();
+  if (y.size() != n) throw std::invalid_argument{"fit_ols: y length mismatch"};
+  if (n <= p) throw std::invalid_argument{"fit_ols: more parameters than observations"};
+
+  GramAccumulator acc{design};
+  const Matrix gram = acc.weighted_gram({});
+  const std::vector<double> xty = acc.weighted_xty(y, {});
+  const Cholesky chol{gram};
+  const std::vector<double> beta = chol.solve(xty);
+
+  double rss = 0.0;
+  double tss = 0.0;
+  double ymean = 0.0;
+  for (const double v : y) ymean += v;
+  ymean /= static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double e = y[r] - acc.predict(r, beta);
+    rss += e * e;
+    tss += (y[r] - ymean) * (y[r] - ymean);
+  }
+
+  const double sigma2 = rss / static_cast<double>(n - p);
+  const Matrix cov_unscaled = chol.inverse();
+  const double df = static_cast<double>(n - p);
+  // 95% CI half-width factor: t quantile ~ normal for the dfs here, but use
+  // the exact t for small-sample correctness in unit tests.
+  const double alpha = 0.975;
+  double t_crit = util::normal_quantile(alpha);
+  if (df < 200.0) {
+    // Invert the t CDF by bisection; df is tiny only in tests.
+    double lo = 0.0, hi = 100.0;
+    for (int it = 0; it < 200; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (student_t_cdf(mid, df) < alpha ? lo : hi) = mid;
+    }
+    t_crit = 0.5 * (lo + hi);
+  }
+
+  LinearModel model;
+  model.n = n;
+  model.parameters = p;
+  const auto names = term_names_with_intercept(design);
+  for (std::size_t c = 0; c < p; ++c) {
+    Term t;
+    t.name = names[c];
+    t.coefficient = beta[c];
+    t.std_error = std::sqrt(sigma2 * cov_unscaled(c, c));
+    t.t_value = t.std_error > 0.0 ? t.coefficient / t.std_error
+                                  : std::numeric_limits<double>::infinity();
+    t.p_value = std::isfinite(t.t_value) ? student_t_two_sided_p(t.t_value, df) : 0.0;
+    t.ci_lo = t.coefficient - t_crit * t.std_error;
+    t.ci_hi = t.coefficient + t_crit * t.std_error;
+    model.terms.push_back(std::move(t));
+  }
+  model.r_squared = tss > 0.0 ? 1.0 - rss / tss : 1.0;
+  model.adjusted_r_squared =
+      1.0 - (1.0 - model.r_squared) * static_cast<double>(n - 1) / df;
+  model.rmse = std::sqrt(rss / static_cast<double>(n));
+  model.aic = static_cast<double>(n) * (std::log(2.0 * M_PI) +
+                                        std::log(rss / static_cast<double>(n)) + 1.0) +
+              2.0 * static_cast<double>(p + 1);
+  return model;
+}
+
+QuantileFit fit_quantile(const DesignBuilder& design, std::span<const double> y,
+                         double tau, int max_iterations, double tol) {
+  if (tau <= 0.0 || tau >= 1.0) throw std::invalid_argument{"fit_quantile: tau in (0,1)"};
+  const std::size_t n = design.observations();
+  const std::size_t p = design.parameters();
+  if (y.size() != n) throw std::invalid_argument{"fit_quantile: y length mismatch"};
+  if (n <= p) throw std::invalid_argument{"fit_quantile: too few observations"};
+
+  GramAccumulator acc{design};
+
+  // Start from the OLS solution.
+  const Cholesky ols_chol{acc.weighted_gram({})};
+  std::vector<double> beta = ols_chol.solve(acc.weighted_xty(y, {}));
+
+  std::vector<double> w(n, 1.0);
+  std::vector<double> residuals(n, 0.0);
+  const double eps = 1e-6;
+  QuantileFit fit;
+  fit.tau = tau;
+  fit.n = n;
+
+  for (int it = 0; it < max_iterations; ++it) {
+    double max_delta = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      residuals[r] = y[r] - acc.predict(r, beta);
+      const double a = residuals[r] >= 0.0 ? tau : 1.0 - tau;
+      w[r] = a / std::max(std::fabs(residuals[r]), eps);
+    }
+    const Cholesky chol{acc.weighted_gram(w)};
+    const std::vector<double> next = chol.solve(acc.weighted_xty(y, w));
+    for (std::size_t c = 0; c < p; ++c) {
+      max_delta = std::max(max_delta, std::fabs(next[c] - beta[c]));
+    }
+    beta = next;
+    fit.iterations = static_cast<std::size_t>(it + 1);
+    if (max_delta < tol) {
+      fit.converged = true;
+      break;
+    }
+  }
+
+  // Powell sandwich covariance: tau(1-tau) * D^-1 (X'X) D^-1 with
+  // D = X' diag(f_hat) X and f_hat a uniform-kernel density at zero.
+  for (std::size_t r = 0; r < n; ++r) residuals[r] = y[r] - acc.predict(r, beta);
+  std::vector<double> abs_res(residuals.size());
+  for (std::size_t r = 0; r < n; ++r) abs_res[r] = std::fabs(residuals[r]);
+  std::nth_element(abs_res.begin(), abs_res.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                   abs_res.end());
+  const double scale = std::max(abs_res[n / 2], 1e-8);
+  const double h = scale * std::pow(static_cast<double>(n), -1.0 / 3.0) * 1.5;
+  std::vector<double> density_w(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (std::fabs(residuals[r]) < h) density_w[r] = 1.0 / (2.0 * h);
+  }
+  const Matrix d = acc.weighted_gram(density_w);
+  const Matrix xtx = acc.weighted_gram({});
+  const Cholesky d_chol{d};
+  const Matrix d_inv = d_chol.inverse();
+  const Matrix sandwich = d_inv * xtx * d_inv;
+
+  const auto names = term_names_with_intercept(design);
+  const double z_crit = util::normal_quantile(0.975);
+  for (std::size_t c = 0; c < p; ++c) {
+    Term t;
+    t.name = names[c];
+    t.coefficient = beta[c];
+    t.std_error = std::sqrt(std::max(0.0, tau * (1.0 - tau) * sandwich(c, c)));
+    t.t_value = t.std_error > 0.0 ? t.coefficient / t.std_error
+                                  : std::numeric_limits<double>::infinity();
+    t.p_value = std::isfinite(t.t_value)
+                    ? 2.0 * (1.0 - normal_cdf(std::fabs(t.t_value)))
+                    : 0.0;
+    t.ci_lo = t.coefficient - z_crit * t.std_error;
+    t.ci_hi = t.coefficient + z_crit * t.std_error;
+    fit.terms.push_back(std::move(t));
+  }
+  return fit;
+}
+
+}  // namespace tl::analysis

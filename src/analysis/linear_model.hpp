@@ -1,0 +1,85 @@
+#pragma once
+
+// Linear models over mixed numeric/categorical covariates — the machinery
+// behind Tables 4, 5, 7 (OLS on log HOF rate) and Tables 8, 9 (quantile
+// regression). Categorical factors use treatment coding against an explicit
+// baseline level, exactly as R's lm() does, so coefficient tables are
+// directly comparable with the paper's.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tl::analysis {
+
+/// A design matrix assembled column-by-column with an implicit intercept.
+class DesignBuilder {
+ public:
+  /// Declares the number of observations; all columns must match it.
+  explicit DesignBuilder(std::size_t n_observations);
+
+  /// Adds a numeric covariate.
+  void add_numeric(std::string name, std::span<const double> values);
+
+  /// Adds a categorical covariate given per-row level indices and level
+  /// names. `baseline` is absorbed into the intercept; remaining levels get
+  /// one indicator column each, named "<name>: <level>".
+  void add_categorical(std::string name, std::span<const std::uint32_t> codes,
+                       std::vector<std::string> level_names, std::uint32_t baseline = 0);
+
+  std::size_t observations() const noexcept { return n_; }
+  std::size_t parameters() const noexcept { return names_.size() + 1; }  // + intercept
+  const std::vector<std::string>& term_names() const noexcept { return names_; }
+
+  /// Row-major design matrix including the leading intercept column.
+  std::vector<double> build_matrix() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+struct Term {
+  std::string name;
+  double coefficient = 0;
+  double std_error = 0;
+  double t_value = 0;
+  double p_value = 0;
+  double ci_lo = 0;  // 95% confidence interval
+  double ci_hi = 0;
+};
+
+struct LinearModel {
+  std::vector<Term> terms;  // terms[0] is the intercept
+  double r_squared = 0;
+  double adjusted_r_squared = 0;
+  double rmse = 0;
+  double aic = 0;
+  std::size_t n = 0;
+  std::size_t parameters = 0;
+
+  /// Finds a term by exact name; throws if missing.
+  const Term& term(const std::string& name) const;
+};
+
+/// Ordinary least squares fit of y against the design.
+LinearModel fit_ols(const DesignBuilder& design, std::span<const double> y);
+
+struct QuantileFit {
+  double tau = 0;
+  std::vector<Term> terms;  // std errors via the Powell sandwich estimator
+  std::size_t n = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Quantile regression at level tau via iteratively reweighted least
+/// squares on a smoothed check loss. Converges to the linear-programming
+/// solution as the smoothing vanishes; adequate at the sample sizes used
+/// here (verified against known closed-form cases in the test suite).
+QuantileFit fit_quantile(const DesignBuilder& design, std::span<const double> y,
+                         double tau, int max_iterations = 200, double tol = 1e-9);
+
+}  // namespace tl::analysis

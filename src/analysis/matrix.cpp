@@ -1,0 +1,132 @@
+#include "analysis/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tl::analysis {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument{"Matrix multiply: shape mismatch"};
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += v * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double vi = row[i];
+      if (vi == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) g(i, j) += vi * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(const std::vector<double>& y) const {
+  if (y.size() != rows_) throw std::invalid_argument{"transpose_times: length mismatch"};
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double yr = y[r];
+    if (yr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += row[c] * yr;
+  }
+  return out;
+}
+
+namespace {
+
+bool try_factor(const Matrix& a, Matrix& l) {
+  const std::size_t n = a.rows();
+  l = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Cholesky::Cholesky(const Matrix& spd) {
+  if (spd.rows() != spd.cols()) throw std::invalid_argument{"Cholesky: non-square"};
+  if (try_factor(spd, l_)) return;
+  // Jitter retry: rescue nearly singular Gram matrices (e.g. a factor level
+  // that appears in very few rows) with a diagonal ridge proportional to the
+  // matrix scale.
+  double scale = 0.0;
+  for (std::size_t i = 0; i < spd.rows(); ++i) scale = std::max(scale, spd(i, i));
+  Matrix jittered = spd;
+  const double ridge = scale > 0 ? scale * 1e-10 : 1e-10;
+  for (std::size_t i = 0; i < spd.rows(); ++i) jittered(i, i) += ridge;
+  if (!try_factor(jittered, l_)) {
+    throw std::runtime_error{"Cholesky: matrix is not positive definite"};
+  }
+}
+
+std::vector<double> Cholesky::solve(const std::vector<double>& b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument{"Cholesky::solve: length mismatch"};
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::inverse() const {
+  const std::size_t n = l_.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    const std::vector<double> col = solve(e);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace tl::analysis

@@ -1,0 +1,62 @@
+#pragma once
+
+// Small dense linear algebra backing the regression models.
+// Row-major storage; sizes are regression-scale (p ~ 10s of covariates),
+// so simple O(p^3) factorizations are the right tool.
+
+#include <cstddef>
+#include <vector>
+
+namespace tl::analysis {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+
+  /// X'X for a tall design matrix, computed without materializing X'.
+  Matrix gram() const;
+
+  /// X'y for a tall design matrix and vector y (y.size() == rows()).
+  std::vector<double> transpose_times(const std::vector<double>& y) const;
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+/// Throws std::runtime_error if the matrix is not SPD (after a tiny jitter
+/// retry, which covers near-singular design matrices from sparse factors).
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& spd);
+
+  /// Solves A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Inverse of A (used for coefficient covariance).
+  Matrix inverse() const;
+
+ private:
+  Matrix l_;  // lower triangular factor
+};
+
+}  // namespace tl::analysis

@@ -1,0 +1,73 @@
+#include "core/control_plane.hpp"
+
+#include <cmath>
+
+namespace tl::core {
+
+namespace {
+
+std::size_t poisson_draw(double mean, util::Rng& rng) {
+  if (mean <= 0.0) return 0;
+  if (mean < 50.0) {
+    const double limit = std::exp(-mean);
+    double prod = rng.uniform();
+    std::size_t n = 0;
+    while (prod > limit) {
+      prod *= rng.uniform();
+      ++n;
+    }
+    return n;
+  }
+  return static_cast<std::size_t>(
+      std::max(0.0, std::round(mean + std::sqrt(mean) * rng.normal())));
+}
+
+}  // namespace
+
+void ControlPlaneGenerator::generate_day(const devices::Ue& ue, int day,
+                                         std::uint32_t handovers,
+                                         telemetry::ControlEventSink& sink) const {
+  util::Rng rng = util::Rng::derive(seed_, 0xc7e1u, ue.id,
+                                    static_cast<std::uint64_t>(day));
+  const auto& pc = country_.postcode(ue.home_postcode);
+  const geo::AreaType area = pc.area_type();
+  const auto type_idx = static_cast<std::size_t>(ue.type);
+
+  telemetry::ControlPlaneEvent event;
+  event.anon_user_id = ue.anon_id;
+  event.device_type = ue.type;
+  event.area = area;
+
+  const auto emit_n = [&](telemetry::ControlEventType type, std::size_t n,
+                          bool diurnal) {
+    event.type = type;
+    for (std::size_t i = 0; i < n; ++i) {
+      event.timestamp =
+          diurnal ? activity_.sample_event_time(day, area, rng)
+                  : static_cast<util::TimestampMs>(day) * util::kMsPerDay +
+                        static_cast<util::TimestampMs>(rng.uniform() * util::kMsPerDay);
+      sink.consume(event);
+    }
+  };
+
+  // Attach/detach cycles: each cycle is one attach and one detach; phones
+  // commonly detach overnight (airplane mode, power off).
+  const std::size_t cycles = poisson_draw(rates_.attach_cycles[type_idx], rng);
+  emit_n(telemetry::ControlEventType::kAttach, cycles, /*diurnal=*/true);
+  emit_n(telemetry::ControlEventType::kDetach, cycles, /*diurnal=*/true);
+
+  // Service requests and paging follow the activity curve.
+  emit_n(telemetry::ControlEventType::kServiceRequest,
+         poisson_draw(rates_.service_requests[type_idx], rng), true);
+  emit_n(telemetry::ControlEventType::kPaging,
+         poisson_draw(rates_.pagings[type_idx], rng), true);
+
+  // TAU: periodic timer around the clock, plus movement-triggered updates.
+  const double periodic = 24.0 / std::max(rates_.periodic_tau_hours, 0.25);
+  emit_n(telemetry::ControlEventType::kTrackingAreaUpdate,
+         poisson_draw(periodic, rng), /*diurnal=*/false);
+  emit_n(telemetry::ControlEventType::kTrackingAreaUpdate,
+         poisson_draw(rates_.tau_per_handover * handovers, rng), /*diurnal=*/true);
+}
+
+}  // namespace tl::core

@@ -1,0 +1,54 @@
+#pragma once
+
+// Control-plane event generation for the full signaling dataset (§3.1).
+//
+// Rates are per-UE-day, modulated by the diurnal activity curve so paging
+// and service requests follow the same daily rhythm as handovers:
+//   - attach/detach: ~1-2 cycles/day (overnight detach common for phones,
+//     rare for always-on M2M modules)
+//   - service requests: proportional to user activity
+//   - paging: mobile-terminated traffic, heavier for smartphones
+//   - TAU: periodic (the standard T3412 timer) plus movement-triggered
+//     updates when the UE crosses tracking areas (proxied by HO count).
+
+#include "devices/population.hpp"
+#include "geo/country.hpp"
+#include "mobility/activity.hpp"
+#include "telemetry/control_events.hpp"
+
+namespace tl::core {
+
+struct ControlPlaneRates {
+  /// Mean daily event counts per device type {smartphone, M2M/IoT, feature}.
+  double attach_cycles[3] = {1.6, 0.3, 1.2};
+  double service_requests[3] = {90.0, 9.0, 20.0};
+  double pagings[3] = {45.0, 3.0, 12.0};
+  /// Periodic TAU interval (T3412), hours.
+  double periodic_tau_hours = 3.0;
+  /// Movement TAUs per handover (tracking areas span many cells).
+  double tau_per_handover = 0.06;
+};
+
+class ControlPlaneGenerator {
+ public:
+  ControlPlaneGenerator(const geo::Country& country,
+                        const mobility::ActivityModel& activity,
+                        ControlPlaneRates rates = {}, std::uint64_t seed = 0xc0de)
+      : country_(country), activity_(activity), rates_(rates), seed_(seed) {}
+
+  /// Emits one UE-day of control-plane events to `sink`, given the number
+  /// of handovers the UE performed that day (drives movement TAUs).
+  /// Deterministic per (seed, ue, day).
+  void generate_day(const devices::Ue& ue, int day, std::uint32_t handovers,
+                    telemetry::ControlEventSink& sink) const;
+
+  const ControlPlaneRates& rates() const noexcept { return rates_; }
+
+ private:
+  const geo::Country& country_;
+  const mobility::ActivityModel& activity_;
+  ControlPlaneRates rates_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tl::core

@@ -1,0 +1,267 @@
+#include "core/hof_dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tl::core {
+
+HofModelingDataset HofModelingDataset::build(
+    const telemetry::SectorDayAggregator& aggregator,
+    const topology::Deployment& deployment, const geo::Country& country) {
+  HofModelingDataset ds;
+  for (const auto& obs : aggregator.observations()) {
+    const auto& sector = deployment.sector(obs.sector);
+    const auto& pc = country.postcode(sector.postcode);
+    ModelObservation row;
+    row.sector = obs.sector;
+    row.day = obs.day;
+    row.target = obs.target;
+    row.daily_hos = obs.handovers;
+    row.failures = obs.failures;
+    row.hof_rate_pct = obs.hof_rate_pct;
+    row.vendor = sector.vendor;
+    row.area = !pc.census_reliable ? AreaClass::kUnclassified
+               : pc.area_type() == geo::AreaType::kUrban ? AreaClass::kUrban
+                                                         : AreaClass::kRural;
+    row.region = sector.region;
+    row.district_population =
+        static_cast<double>(country.district(sector.district).population);
+    ds.rows_.push_back(row);
+  }
+  return ds;
+}
+
+HofModelingDataset HofModelingDataset::nonzero() const {
+  HofModelingDataset out;
+  for (const auto& r : rows_) {
+    if (r.hof_rate_pct > 0.0) out.rows_.push_back(r);
+  }
+  return out;
+}
+
+HofModelingDataset HofModelingDataset::filtered(double max_rate_pct,
+                                                std::uint32_t min_hos,
+                                                std::uint32_t max_hos) const {
+  HofModelingDataset out;
+  for (const auto& r : rows_) {
+    if (r.hof_rate_pct > 0.0 && r.hof_rate_pct < max_rate_pct && r.daily_hos >= min_hos &&
+        r.daily_hos <= max_hos) {
+      out.rows_.push_back(r);
+    }
+  }
+  return out;
+}
+
+HofModelingDataset HofModelingDataset::without_2g() const {
+  HofModelingDataset out;
+  for (const auto& r : rows_) {
+    if (r.target != topology::ObservedRat::kG2) out.rows_.push_back(r);
+  }
+  return out;
+}
+
+analysis::SixNumberSummary HofModelingDataset::summary_daily_hos() const {
+  std::vector<double> v;
+  v.reserve(rows_.size());
+  for (const auto& r : rows_) v.push_back(static_cast<double>(r.daily_hos));
+  return analysis::summarize(v);
+}
+
+analysis::SixNumberSummary HofModelingDataset::summary_hof_rate() const {
+  std::vector<double> v;
+  v.reserve(rows_.size());
+  for (const auto& r : rows_) v.push_back(r.hof_rate_pct);
+  return analysis::summarize(v);
+}
+
+std::array<double, 3> HofModelingDataset::median_rate_by_type() const {
+  std::array<std::vector<double>, 3> groups;
+  for (const auto& r : rows_) {
+    groups[static_cast<std::size_t>(r.target)].push_back(r.hof_rate_pct);
+  }
+  std::array<double, 3> medians{};
+  for (std::size_t t = 0; t < 3; ++t) {
+    if (!groups[t].empty()) medians[t] = analysis::median(groups[t]);
+  }
+  return medians;
+}
+
+std::array<std::vector<double>, 3> HofModelingDataset::log_rate_groups() const {
+  std::array<std::vector<double>, 3> groups;
+  for (const auto& r : rows_) {
+    if (r.hof_rate_pct > 0.0) {
+      groups[static_cast<std::size_t>(r.target)].push_back(std::log(r.hof_rate_pct));
+    }
+  }
+  return groups;
+}
+
+analysis::AnovaResult HofModelingDataset::anova_by_type() const {
+  const auto groups = log_rate_groups();
+  std::vector<std::vector<double>> present;
+  for (const auto& g : groups) {
+    if (!g.empty()) present.push_back(g);
+  }
+  return analysis::one_way_anova(present);
+}
+
+analysis::KruskalWallisResult HofModelingDataset::kruskal_wallis_by_type() const {
+  const auto groups = log_rate_groups();
+  std::vector<std::vector<double>> present;
+  for (const auto& g : groups) {
+    if (!g.empty()) present.push_back(g);
+  }
+  return analysis::kruskal_wallis(present);
+}
+
+std::vector<double> HofModelingDataset::log_rates() const {
+  std::vector<double> y;
+  y.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    if (r.hof_rate_pct <= 0.0) {
+      throw std::logic_error{
+          "HofModelingDataset: log models need a nonzero()/filtered() subset"};
+    }
+    y.push_back(std::log(r.hof_rate_pct));
+  }
+  return y;
+}
+
+const std::vector<std::string>& HofModelingDataset::covariate_groups() {
+  static const std::vector<std::string> kGroups{
+      "HO type",       "Number of daily HOs",  "Area Type",
+      "Antenna Vendor", "Sector Region",        "District population"};
+  return kGroups;
+}
+
+analysis::DesignBuilder HofModelingDataset::build_design_for(
+    const std::vector<std::string>& groups) const {
+  analysis::DesignBuilder design{rows_.size()};
+  const auto wants = [&](std::string_view name) {
+    for (const auto& g : groups) {
+      if (g == name) return true;
+    }
+    return false;
+  };
+
+  if (wants("HO type")) {
+    std::vector<std::uint32_t> type_codes;
+    type_codes.reserve(rows_.size());
+    bool any_2g = false;
+    for (const auto& r : rows_) {
+      type_codes.push_back(static_cast<std::uint32_t>(r.target));
+      any_2g = any_2g || r.target == topology::ObservedRat::kG2;
+    }
+    // Treatment coding with intra 4G/5G-NSA as baseline. When the subset
+    // has no 2G rows (Table 7), drop the level entirely to keep the design
+    // full rank. ObservedRat order is {2G, 3G, 4G/5G}; remap baseline-first.
+    std::vector<std::uint32_t> remapped(type_codes.size());
+    if (any_2g) {
+      for (std::size_t i = 0; i < type_codes.size(); ++i) {
+        remapped[i] = 2u - type_codes[i];  // {kG2 -> 2, kG3 -> 1, kG45Nsa -> 0}
+      }
+      design.add_categorical("HO type", remapped,
+                             {"Intra 4G/5G-NSA", "4G/5G-NSA to 3G", "4G/5G-NSA to 2G"},
+                             0);
+    } else {
+      for (std::size_t i = 0; i < type_codes.size(); ++i) {
+        remapped[i] =
+            type_codes[i] == static_cast<std::uint32_t>(topology::ObservedRat::kG3) ? 1u
+                                                                                    : 0u;
+      }
+      design.add_categorical("HO type", remapped, {"Intra 4G/5G-NSA", "4G/5G-NSA to 3G"},
+                             0);
+    }
+  }
+
+  if (wants("Number of daily HOs")) {
+    std::vector<double> daily_hos;
+    daily_hos.reserve(rows_.size());
+    for (const auto& r : rows_) daily_hos.push_back(static_cast<double>(r.daily_hos));
+    design.add_numeric("Number of daily HOs", daily_hos);
+  }
+  if (wants("Area Type")) {
+    std::vector<std::uint32_t> codes;
+    codes.reserve(rows_.size());
+    for (const auto& r : rows_) codes.push_back(static_cast<std::uint32_t>(r.area));
+    design.add_categorical("Area Type", codes, {"Unclassified", "Rural", "Urban"}, 0);
+  }
+  if (wants("Antenna Vendor")) {
+    std::vector<std::uint32_t> codes;
+    codes.reserve(rows_.size());
+    for (const auto& r : rows_) codes.push_back(static_cast<std::uint32_t>(r.vendor));
+    design.add_categorical("Antenna Vendor", codes, {"V1", "V2", "V3", "V4"}, 0);
+  }
+  if (wants("Sector Region")) {
+    std::vector<std::uint32_t> codes;
+    codes.reserve(rows_.size());
+    for (const auto& r : rows_) codes.push_back(static_cast<std::uint32_t>(r.region));
+    design.add_categorical("Sector Region", codes,
+                           {"Capital area", "North", "South", "West"}, 0);
+  }
+  if (wants("District population")) {
+    std::vector<double> pop;
+    pop.reserve(rows_.size());
+    for (const auto& r : rows_) pop.push_back(r.district_population);
+    design.add_numeric("District population", pop);
+  }
+  return design;
+}
+
+analysis::DesignBuilder HofModelingDataset::build_design(bool full) const {
+  if (full) return build_design_for(covariate_groups());
+  return build_design_for({"HO type"});
+}
+
+HofModelingDataset::StepwiseResult HofModelingDataset::fit_stepwise() const {
+  const std::vector<double> y = log_rates();
+  StepwiseResult result;
+  // Intercept-only baseline AIC.
+  analysis::DesignBuilder empty{rows_.size()};
+  // fit_ols needs at least one covariate column beyond the intercept for a
+  // meaningful comparison; score the empty model via a constant column that
+  // the jittered Cholesky tolerates.
+  empty.add_numeric("(null)", std::vector<double>(rows_.size(), 0.0));
+  double best_aic = analysis::fit_ols(empty, y).aic;
+
+  std::vector<std::string> remaining = covariate_groups();
+  while (!remaining.empty()) {
+    double step_best_aic = best_aic;
+    std::size_t step_best_index = remaining.size();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      std::vector<std::string> candidate = result.selected;
+      candidate.push_back(remaining[i]);
+      const double aic = analysis::fit_ols(build_design_for(candidate), y).aic;
+      if (aic < step_best_aic) {
+        step_best_aic = aic;
+        step_best_index = i;
+      }
+    }
+    if (step_best_index == remaining.size()) break;  // no improvement
+    result.selected.push_back(remaining[step_best_index]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(step_best_index));
+    best_aic = step_best_aic;
+  }
+  result.model = analysis::fit_ols(
+      build_design_for(result.selected.empty() ? std::vector<std::string>{"HO type"}
+                                               : result.selected),
+      y);
+  return result;
+}
+
+analysis::LinearModel HofModelingDataset::fit_univariate() const {
+  const auto design = build_design(/*full=*/false);
+  return analysis::fit_ols(design, log_rates());
+}
+
+analysis::LinearModel HofModelingDataset::fit_full() const {
+  const auto design = build_design(/*full=*/true);
+  return analysis::fit_ols(design, log_rates());
+}
+
+analysis::QuantileFit HofModelingDataset::fit_quantile(double tau) const {
+  const auto design = build_design(/*full=*/false);
+  return analysis::fit_quantile(design, log_rates(), tau);
+}
+
+}  // namespace tl::core

@@ -1,0 +1,107 @@
+#pragma once
+
+// The §6.3 modeling dataset and the paper's statistical models over it.
+//
+// Rows are (source sector, day, HO type) observations with the daily HOF
+// rate as dependent variable and the Table 3 covariates joined from the
+// topology and census datasets. On top: the ANOVA / Kruskal-Wallis tests,
+// the OLS models of Tables 4, 5 and 7, and the quantile regressions of
+// Tables 8 and 9 — all expected to recover the generative model's effects.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "analysis/anova.hpp"
+#include "analysis/linear_model.hpp"
+#include "analysis/summary.hpp"
+#include "geo/country.hpp"
+#include "telemetry/aggregates.hpp"
+#include "topology/deployment.hpp"
+
+namespace tl::core {
+
+/// Area class for the regression: postcodes without reliable census data
+/// form their own (baseline) level, which is why the paper's Table 5 shows
+/// separate coefficients for both Rural and Urban.
+enum class AreaClass : std::uint8_t {
+  kUnclassified = 0,
+  kRural,
+  kUrban,
+};
+
+struct ModelObservation {
+  topology::SectorId sector = 0;
+  int day = 0;
+  topology::ObservedRat target = topology::ObservedRat::kG45Nsa;
+  std::uint32_t daily_hos = 0;
+  std::uint32_t failures = 0;
+  double hof_rate_pct = 0.0;
+  topology::Vendor vendor = topology::Vendor::kV1;
+  AreaClass area = AreaClass::kUnclassified;
+  geo::Region region = geo::Region::kCapital;
+  double district_population = 0.0;
+};
+
+class HofModelingDataset {
+ public:
+  /// Joins the sector-day aggregates with topology and census context.
+  static HofModelingDataset build(const telemetry::SectorDayAggregator& aggregator,
+                                  const topology::Deployment& deployment,
+                                  const geo::Country& country);
+
+  std::span<const ModelObservation> rows() const noexcept { return rows_; }
+  std::size_t size() const noexcept { return rows_.size(); }
+
+  /// Rows with a non-zero HOF rate (the log models regress over these).
+  HofModelingDataset nonzero() const;
+  /// The paper's outlier filter: HOF rate < `max_rate_pct` and daily HOs in
+  /// [min_hos, max_hos].
+  HofModelingDataset filtered(double max_rate_pct = 50.0, std::uint32_t min_hos = 10,
+                              std::uint32_t max_hos = 30'000) const;
+  /// Drops HOs toward 2G (Table 7's robustness variant).
+  HofModelingDataset without_2g() const;
+
+  /// Table 6: summary statistics of daily HOs and HOF rate.
+  analysis::SixNumberSummary summary_daily_hos() const;
+  analysis::SixNumberSummary summary_hof_rate() const;
+
+  /// Median HOF rate (pct) per HO type — the §6.3 "first look" numbers
+  /// (0.04 / 5.85 / 21.42 in the paper).
+  std::array<double, 3> median_rate_by_type() const;
+
+  /// log(HOF rate) groups per HO type over non-zero rows, for ANOVA / KW.
+  std::array<std::vector<double>, 3> log_rate_groups() const;
+  analysis::AnovaResult anova_by_type() const;
+  analysis::KruskalWallisResult kruskal_wallis_by_type() const;
+
+  /// Table 4: univariate log-linear model, intra 4G/5G-NSA as baseline.
+  analysis::LinearModel fit_univariate() const;
+  /// Tables 5 / 7: all covariates (HO type, daily HOs, area class, vendor,
+  /// region, district population).
+  analysis::LinearModel fit_full() const;
+  /// Tables 8 / 9: quantile regression on HO type alone.
+  analysis::QuantileFit fit_quantile(double tau) const;
+
+  /// Appendix B robustness: forward step-wise covariate selection by AIC.
+  /// Starts from the intercept-only model and greedily adds the covariate
+  /// group that improves AIC most, stopping when nothing does.
+  struct StepwiseResult {
+    std::vector<std::string> selected;  // covariate groups, in pick order
+    analysis::LinearModel model;        // fit over the selected groups
+  };
+  StepwiseResult fit_stepwise() const;
+
+  /// The covariate groups the step-wise search considers (Table 3).
+  static const std::vector<std::string>& covariate_groups();
+
+ private:
+  analysis::DesignBuilder build_design(bool full) const;
+  /// Design restricted to the named covariate groups.
+  analysis::DesignBuilder build_design_for(const std::vector<std::string>& groups) const;
+  std::vector<double> log_rates() const;
+
+  std::vector<ModelObservation> rows_;
+};
+
+}  // namespace tl::core

@@ -1,0 +1,56 @@
+#include "core/home_inference.hpp"
+
+#include <cmath>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace tl::core {
+
+HomeInferenceResult infer_home_locations(const geo::Country& country,
+                                         const topology::Deployment& deployment,
+                                         const devices::Population& population,
+                                         int min_nights, int study_days,
+                                         std::uint64_t seed) {
+  HomeInferenceResult result;
+  const auto districts = country.districts();
+  result.inferred_users.assign(districts.size(), 0);
+  result.census_population.resize(districts.size());
+  for (std::size_t i = 0; i < districts.size(); ++i) {
+    result.census_population[i] = districts[i].population;
+  }
+
+  for (const auto& ue : population.ues()) {
+    // Nights-observed model: each UE has a stable camping availability; the
+    // number of nights it is observable is Binomial(study_days, availability).
+    util::Rng rng = util::Rng::derive(seed, 0x4073u, ue.id);
+    const double availability = 0.55 + 0.43 * rng.uniform();
+    int nights = 0;
+    for (int d = 0; d < study_days; ++d) {
+      if (rng.chance(availability)) ++nights;
+    }
+    if (nights < min_nights) continue;
+
+    // Dominant night cell: the site nearest the (jittered) home anchor.
+    const auto& pc = country.postcode(ue.home_postcode);
+    util::GeoPoint night_anchor{pc.centroid.x_km + rng.normal(0.0, 0.4),
+                                pc.centroid.y_km + rng.normal(0.0, 0.4)};
+    const topology::SiteId site = deployment.site_index().nearest(night_anchor);
+    if (site == geo::SpatialIndex::kNotFound) continue;
+    const geo::PostcodeId mapped_pc = deployment.site(site).postcode;
+    const geo::DistrictId district = country.postcode(mapped_pc).district;
+    ++result.inferred_users[district];
+  }
+
+  // Fig. 5 fits census population against the inferred MNO user base.
+  std::vector<double> x(districts.size());
+  std::vector<double> y(districts.size());
+  for (std::size_t i = 0; i < districts.size(); ++i) {
+    x[i] = static_cast<double>(result.inferred_users[i]);
+    y[i] = static_cast<double>(result.census_population[i]);
+  }
+  result.fit = analysis::simple_linear_fit(x, y);
+  return result;
+}
+
+}  // namespace tl::core

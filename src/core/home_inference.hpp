@@ -1,0 +1,41 @@
+#pragma once
+
+// Nighttime home-location inference (Fig. 5, §4.3).
+//
+// The paper derives each user's home postcode from the main cell site the
+// UE camps on between 00:00 and 08:00 on at least 14 nights, aggregates to
+// districts, and compares against census (R^2 = 0.92). We reproduce the
+// procedure: find each UE's dominant night site, map it to its postcode's
+// district, tally per district, and fit inferred-vs-census population.
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/correlation.hpp"
+#include "devices/population.hpp"
+#include "geo/country.hpp"
+#include "topology/deployment.hpp"
+
+namespace tl::core {
+
+struct HomeInferenceResult {
+  /// Inferred MNO user count per district.
+  std::vector<std::uint64_t> inferred_users;
+  /// Census population per district (aligned by district id).
+  std::vector<std::uint64_t> census_population;
+  /// Linear fit of census ~ inferred (Fig. 5's reported R^2).
+  analysis::SimpleFit fit;
+
+  double r_squared() const noexcept { return fit.r_squared; }
+};
+
+/// Runs the inference over the whole population. `min_nights` mirrors the
+/// paper's >= 14-night stability requirement: UEs observed fewer nights
+/// (modeled as a per-UE stable availability draw) are dropped.
+HomeInferenceResult infer_home_locations(const geo::Country& country,
+                                         const topology::Deployment& deployment,
+                                         const devices::Population& population,
+                                         int min_nights = 14, int study_days = 28,
+                                         std::uint64_t seed = 0x40fe);
+
+}  // namespace tl::core

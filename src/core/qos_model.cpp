@@ -1,0 +1,58 @@
+#include "core/qos_model.hpp"
+
+namespace tl::core {
+
+SessionImpact QosModel::assess(const telemetry::HandoverRecord& record) const noexcept {
+  SessionImpact impact;
+  impact.interruption_ms = record.duration_ms;
+  if (!record.success) impact.interruption_ms += params_.reestablishment_ms;
+
+  // Loss while the data path is down, assuming full-rate 4G/5G transfer for
+  // the active-transfer share of sessions. Mbps * ms / 8e3 = MB.
+  const double full_rate =
+      params_.throughput_mbps[static_cast<std::size_t>(topology::ObservedRat::kG45Nsa)];
+  impact.lost_mbytes = params_.active_transfer_share * full_rate *
+                       impact.interruption_ms / 8'000.0;
+
+  // A successful vertical HO strands the UE on the slower RAT for a while:
+  // the loss is the throughput gap over the hold period.
+  if (record.success && record.is_vertical()) {
+    const double slow_rate =
+        params_.throughput_mbps[static_cast<std::size_t>(record.target_rat)];
+    const double gap_mbps = full_rate - slow_rate;
+    if (gap_mbps > 0.0) {
+      impact.lost_mbytes +=
+          params_.active_transfer_share * gap_mbps * params_.fallback_hold_ms / 8'000.0;
+    }
+  }
+  return impact;
+}
+
+void QosAggregator::consume(const telemetry::HandoverRecord& record) {
+  const SessionImpact impact = model_.assess(record);
+  ++records_;
+  total_interruption_ms_ += impact.interruption_ms;
+  total_lost_mbytes_ += impact.lost_mbytes;
+  if (record.success) {
+    ++successes_;
+    success_interruption_ms_ += impact.interruption_ms;
+  } else {
+    ++failures_;
+    failure_interruption_ms_ += impact.interruption_ms;
+  }
+  if (record.is_vertical()) vertical_lost_mbytes_ += impact.lost_mbytes;
+}
+
+double QosAggregator::mean_interruption_success_ms() const noexcept {
+  return successes_ ? success_interruption_ms_ / static_cast<double>(successes_) : 0.0;
+}
+
+double QosAggregator::mean_interruption_failure_ms() const noexcept {
+  return failures_ ? failure_interruption_ms_ / static_cast<double>(failures_) : 0.0;
+}
+
+double QosAggregator::vertical_share_of_loss() const noexcept {
+  return total_lost_mbytes_ > 0.0 ? vertical_lost_mbytes_ / total_lost_mbytes_ : 0.0;
+}
+
+}  // namespace tl::core

@@ -1,0 +1,83 @@
+#pragma once
+
+// Quality-of-Service impact model (§8 future work: "explore the impact of
+// HOFs on performance metrics, such as throughput ... from the operator's
+// perspective").
+//
+// Converts handover records into user-plane damage: every HO interrupts the
+// data path for its signaling time; a failed HO adds an RRC
+// re-establishment outage (long for timeout/cancellation causes, per Fig.
+// 14b); a successful *vertical* HO parks the UE on a slower RAT for a hold
+// period, costing throughput relative to staying on 4G/5G.
+
+#include <array>
+
+#include "telemetry/records.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace tl::core {
+
+struct QosParams {
+  /// Sustained user throughput per observed RAT class {2G, 3G, 4G/5G}, Mbps.
+  std::array<double, 3> throughput_mbps{0.1, 4.0, 45.0};
+  /// RRC re-establishment time added after a failed HO, ms.
+  double reestablishment_ms = 450.0;
+  /// How long a vertical HO strands the UE on the legacy RAT before it
+  /// reselects back, ms.
+  double fallback_hold_ms = 30'000.0;
+  /// Fraction of UEs actively transferring data when a HO strikes.
+  double active_transfer_share = 0.25;
+};
+
+/// User-plane damage attributed to one handover record.
+struct SessionImpact {
+  /// Data-path interruption (success: signaling time; failure: + recovery).
+  double interruption_ms = 0.0;
+  /// Throughput-loss equivalent in megabytes versus an uninterrupted 4G/5G
+  /// session (interruption loss + slow-RAT residency loss).
+  double lost_mbytes = 0.0;
+};
+
+class QosModel {
+ public:
+  explicit QosModel(const QosParams& params = {}) : params_(params) {}
+
+  SessionImpact assess(const telemetry::HandoverRecord& record) const noexcept;
+
+  const QosParams& params() const noexcept { return params_; }
+
+ private:
+  QosParams params_;
+};
+
+/// Streaming aggregation of QoS damage (per device type and overall).
+class QosAggregator : public telemetry::RecordSink {
+ public:
+  explicit QosAggregator(const QosParams& params = {}) : model_(params) {}
+
+  void consume(const telemetry::HandoverRecord& record) override;
+
+  double total_interruption_ms() const noexcept { return total_interruption_ms_; }
+  double total_lost_mbytes() const noexcept { return total_lost_mbytes_; }
+  std::uint64_t records() const noexcept { return records_; }
+
+  /// Mean interruption per successful HO vs per failed HO, ms.
+  double mean_interruption_success_ms() const noexcept;
+  double mean_interruption_failure_ms() const noexcept;
+
+  /// Damage attributable to vertical HOs (success + failure).
+  double vertical_share_of_loss() const noexcept;
+
+ private:
+  QosModel model_;
+  std::uint64_t records_ = 0;
+  std::uint64_t successes_ = 0;
+  std::uint64_t failures_ = 0;
+  double total_interruption_ms_ = 0.0;
+  double total_lost_mbytes_ = 0.0;
+  double success_interruption_ms_ = 0.0;
+  double failure_interruption_ms_ = 0.0;
+  double vertical_lost_mbytes_ = 0.0;
+};
+
+}  // namespace tl::core

@@ -1,0 +1,162 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "analysis/correlation.hpp"
+#include "analysis/summary.hpp"
+
+namespace tl::core {
+
+DatasetStats dataset_stats(const Simulator& sim, std::uint64_t total_records) {
+  DatasetStats s;
+  s.districts = sim.country().districts().size();
+  s.cell_sites = sim.deployment().sites().size();
+  s.radio_sectors = sim.deployment().sectors().size();
+  s.ues_measured = sim.population().size();
+  s.days = sim.config().days;
+  s.daily_handovers =
+      s.days > 0 ? static_cast<double>(total_records) / static_cast<double>(s.days) : 0.0;
+  s.scale = sim.config().scale;
+  const double inv = s.scale > 0.0 ? 1.0 / s.scale : 0.0;
+  s.full_scale_sites = static_cast<double>(s.cell_sites) * inv;
+  s.full_scale_sectors = static_cast<double>(s.radio_sectors) * inv;
+  s.full_scale_ues = static_cast<double>(s.ues_measured) *
+                     (StudyConfig::kFullScaleUes /
+                      std::max(1.0, static_cast<double>(sim.config().population.count)));
+  s.full_scale_daily_handovers =
+      s.daily_handovers * StudyConfig::kFullScaleUes /
+      std::max(1.0, static_cast<double>(sim.config().population.count));
+  return s;
+}
+
+DistrictHoDensity district_ho_density(const Simulator& sim,
+                                      const telemetry::DistrictAggregator& districts) {
+  DistrictHoDensity out;
+  const auto all = sim.country().districts();
+  const int days = std::max(sim.config().days, 1);
+  for (const auto& d : all) {
+    const auto& tally = districts.district(d.id);
+    const double daily_hos = static_cast<double>(tally.handovers) / days;
+    out.hos_per_km2.push_back(daily_hos / std::max(d.area_km2, 1e-6));
+    out.population_density.push_back(d.population_density());
+  }
+  out.pearson = analysis::pearson(out.hos_per_km2, out.population_density);
+  out.max_hos_per_km2 = *std::max_element(out.hos_per_km2.begin(), out.hos_per_km2.end());
+  out.min_hos_per_km2 = *std::min_element(out.hos_per_km2.begin(), out.hos_per_km2.end());
+  out.mean_hos_per_km2 = analysis::mean(out.hos_per_km2);
+  return out;
+}
+
+DistrictRatShares district_rat_shares(const Simulator& sim,
+                                      const telemetry::DistrictAggregator& districts) {
+  DistrictRatShares out;
+  const auto all = sim.country().districts();
+  std::vector<std::pair<double, std::size_t>> density_order;
+  for (const auto& d : all) {
+    const auto& tally = districts.district(d.id);
+    std::array<double, 3> share{};
+    if (tally.handovers > 0) {
+      for (std::size_t rat = 0; rat < 3; ++rat) {
+        share[rat] = static_cast<double>(tally.by_target[rat]) /
+                     static_cast<double>(tally.handovers);
+      }
+    }
+    out.shares.push_back(share);
+    density_order.emplace_back(d.population_density(), out.shares.size() - 1);
+    out.max_2g_share = std::max(out.max_2g_share, share[0]);
+    out.max_3g_share = std::max(out.max_3g_share, share[1]);
+    out.max_intra_share = std::max(out.max_intra_share, share[2]);
+  }
+  std::sort(density_order.begin(), density_order.end());
+  const std::size_t least_dense =
+      std::max<std::size_t>(2, static_cast<std::size_t>(0.06 * all.size()));
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < density_order.size() && counted < least_dense; ++i) {
+    const auto& share = out.shares[density_order[i].second];
+    if (share[0] + share[1] + share[2] == 0.0) continue;  // no observed HOs
+    sum += share[1];
+    ++counted;
+  }
+  out.mean_3g_least_dense = counted ? sum / static_cast<double>(counted) : 0.0;
+  return out;
+}
+
+ManufacturerNormalized manufacturer_normalized(
+    const Simulator& sim, const telemetry::DistrictAggregator& districts,
+    std::size_t min_devices_per_pair) {
+  ManufacturerNormalized out;
+  const auto makers = sim.catalog().manufacturers();
+  const auto all_districts = sim.country().districts();
+
+  // Device counts per (district, manufacturer) and per (district, type).
+  // Normalization is within device type: a maker's HOs/UE against the same
+  // type's district average, so observability differences between classes
+  // do not masquerade as behaviour.
+  const std::size_t n_makers = makers.size();
+  std::vector<std::uint32_t> ue_count(all_districts.size() * n_makers, 0);
+  std::vector<std::uint32_t> ue_by_type(all_districts.size() * 3u, 0);
+  for (const auto& ue : sim.population().ues()) {
+    ++ue_count[ue.home_district * n_makers + ue.manufacturer];
+    ++ue_by_type[ue.home_district * 3u + static_cast<std::size_t>(ue.type)];
+  }
+
+  for (const auto& maker : makers) {
+    ManufacturerNormalized::Row row;
+    row.name = maker.name;
+    row.id = maker.id;
+    const auto type_idx = static_cast<std::size_t>(maker.type);
+    for (const auto& d : all_districts) {
+      const std::uint32_t n_ue = ue_count[d.id * n_makers + maker.id];
+      const std::uint32_t n_type_ue = ue_by_type[d.id * 3u + type_idx];
+      if (n_ue < min_devices_per_pair || n_type_ue == 0) continue;
+      const auto& dt = districts.district(d.id);
+      const auto& mt = districts.maker(d.id, maker.id);
+      const std::uint64_t type_hos = dt.hos_by_type[type_idx];
+      if (type_hos == 0 || mt.handovers == 0) continue;
+      const double district_hos_per_ue =
+          static_cast<double>(type_hos) / static_cast<double>(n_type_ue);
+      const double maker_hos_per_ue =
+          static_cast<double>(mt.handovers) / static_cast<double>(n_ue);
+      row.normalized_hos.push_back(maker_hos_per_ue / district_hos_per_ue);
+
+      const double district_hof_rate = static_cast<double>(dt.hofs_by_type[type_idx]) /
+                                       static_cast<double>(type_hos);
+      const double maker_hof_rate =
+          static_cast<double>(mt.failures) / static_cast<double>(mt.handovers);
+      if (district_hof_rate > 0.0) {
+        row.normalized_hof_rate.push_back(maker_hof_rate / district_hof_rate);
+      }
+    }
+    if (row.normalized_hos.size() < 3 || row.normalized_hof_rate.size() < 3) continue;
+    row.median_hos = analysis::median(row.normalized_hos);
+    row.median_hof_rate = analysis::median(row.normalized_hof_rate);
+    out.rows.push_back(std::move(row));
+  }
+
+  // Top-5 smartphone makers by national UE count (Fig. 11's left group),
+  // and top-5 by median normalized HOF rate (its right group).
+  std::vector<std::uint64_t> national_count(n_makers, 0);
+  for (const auto& ue : sim.population().ues()) ++national_count[ue.manufacturer];
+  std::vector<std::size_t> order(out.rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return national_count[out.rows[a].id] > national_count[out.rows[b].id];
+  });
+  for (const std::size_t idx : order) {
+    if (makers[out.rows[idx].id].type != devices::DeviceType::kSmartphone) continue;
+    out.top5_by_share.push_back(idx);
+    if (out.top5_by_share.size() == 5) break;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return out.rows[a].median_hof_rate > out.rows[b].median_hof_rate;
+  });
+  for (std::size_t i = 0; i < order.size() && i < 5; ++i) {
+    out.top5_by_hof.push_back(order[i]);
+  }
+  return out;
+}
+
+}  // namespace tl::core

@@ -1,0 +1,79 @@
+#pragma once
+
+// Report builders: the district-level and population-level reductions that
+// back Table 1 and Figs. 6, 9, 11. (Temporal, duration, cause, and modeling
+// outputs come straight from their aggregators / HofModelingDataset.)
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "telemetry/aggregates.hpp"
+
+namespace tl::core {
+
+/// Table 1: dataset statistics, configured scale and full-scale equivalent.
+struct DatasetStats {
+  std::size_t districts = 0;
+  std::size_t cell_sites = 0;
+  std::size_t radio_sectors = 0;
+  std::size_t ues_measured = 0;
+  int days = 0;
+  double daily_handovers = 0.0;
+  double scale = 0.0;
+  /// Counts rescaled to the paper's 1.0-scale deployment for comparison.
+  double full_scale_sites = 0.0;
+  double full_scale_sectors = 0.0;
+  double full_scale_ues = 0.0;
+  double full_scale_daily_handovers = 0.0;
+};
+DatasetStats dataset_stats(const Simulator& sim, std::uint64_t total_records);
+
+/// Fig. 6: daily HOs per square km per district vs population density.
+struct DistrictHoDensity {
+  std::vector<double> hos_per_km2;       // per district, daily
+  std::vector<double> population_density;  // residents per km2
+  double pearson = 0.0;
+  double max_hos_per_km2 = 0.0;
+  double min_hos_per_km2 = 0.0;
+  double mean_hos_per_km2 = 0.0;
+};
+DistrictHoDensity district_ho_density(const Simulator& sim,
+                                      const telemetry::DistrictAggregator& districts);
+
+/// Fig. 9: HO-type shares per district, with the paper's headline stats.
+struct DistrictRatShares {
+  /// Per district: {to 2G, to 3G, intra} shares of its HOs.
+  std::vector<std::array<double, 3>> shares;
+  double max_intra_share = 0.0;
+  double max_3g_share = 0.0;
+  double max_2g_share = 0.0;
+  /// Average 3G share among the 6% least densely populated districts.
+  double mean_3g_least_dense = 0.0;
+};
+DistrictRatShares district_rat_shares(const Simulator& sim,
+                                      const telemetry::DistrictAggregator& districts);
+
+/// Fig. 11: normalized district-level HOs and HOF rate per manufacturer.
+struct ManufacturerNormalized {
+  struct Row {
+    std::string name;
+    devices::ManufacturerId id = 0;
+    /// Per-district normalized values (>= min-device districts only).
+    std::vector<double> normalized_hos;
+    std::vector<double> normalized_hof_rate;
+    double median_hos = 0.0;
+    double median_hof_rate = 0.0;
+  };
+  std::vector<Row> rows;  // all manufacturers with enough data
+
+  /// Top-5 by UE count and top-5 by median normalized HOF rate.
+  std::vector<std::size_t> top5_by_share;
+  std::vector<std::size_t> top5_by_hof;
+};
+ManufacturerNormalized manufacturer_normalized(
+    const Simulator& sim, const telemetry::DistrictAggregator& districts,
+    std::size_t min_devices_per_pair = 20);
+
+}  // namespace tl::core

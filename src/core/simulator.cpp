@@ -1,0 +1,329 @@
+#include "core/simulator.hpp"
+
+#include <stdexcept>
+
+#include "mobility/metrics.hpp"
+#include "ran/propagation.hpp"
+
+namespace tl::core {
+
+using topology::ObservedRat;
+
+Simulator::Simulator(StudyConfig config)
+    : config_(std::move(config)),
+      load_model_(activity_, config_.seed * 31 + 7),
+      energy_(config_.seed * 31 + 8),
+      failure_model_([&] {
+        corenet::FailureModelConfig fm;
+        fm.seed = config_.seed * 31 + 9;
+        return fm;
+      }()),
+      causes_(config_.seed * 31 + 10),
+      procedure_(failure_model_, durations_, causes_) {
+  country_ = std::make_unique<geo::Country>(geo::synthesize_country(config_.census));
+  deployment_ = std::make_unique<topology::Deployment>(
+      topology::Deployment::build(*country_, config_.deployment));
+  catalog_ = std::make_unique<devices::Catalog>(devices::Catalog::build(config_.catalog));
+  population_ = std::make_unique<devices::Population>(
+      devices::Population::build(*country_, *catalog_, config_.population));
+  coverage_ = std::make_unique<ran::CoverageMap>(
+      ran::CoverageMap::build(*country_, *deployment_, config_.coverage));
+  traces_ = std::make_unique<mobility::TraceGenerator>(*country_, activity_,
+                                                       config_.seed * 31 + 11);
+  selector_ = std::make_unique<ran::TargetSelector>(*deployment_, *coverage_);
+
+  plans_.reserve(population_->size());
+  for (const auto& ue : population_->ues()) plans_.push_back(traces_->plan_for(ue));
+
+  calibrate_coverage();
+}
+
+void Simulator::calibrate_coverage() {
+  // Sample modern UEs evenly and replay one weekday of movement, crediting
+  // each event (weighted by the device's fallback multiplier) to the
+  // postcode whose site would serve it — the same lookup the hot loop does.
+  std::vector<double> volume(country_->postcodes().size(), 0.0);
+  std::vector<double> volume_3g(country_->postcodes().size(), 0.0);
+  const std::size_t target_sample = 4'000;
+  const std::size_t stride =
+      std::max<std::size_t>(1, population_->size() / target_sample);
+  constexpr int kProbeDay = 0;  // a Monday
+  util::Rng probe_rng = util::Rng::derive(config_.seed, 0xca1bu);
+  for (std::size_t i = 0; i < population_->size(); i += stride) {
+    const auto& ue = population_->ue(static_cast<devices::UeId>(i));
+    if (!topology::supports(ue.rat_support, topology::Rat::kG4)) continue;
+    const auto trace = traces_->generate(ue, plans_[ue.id], kProbeDay);
+    const double mult = ran::CoverageMap::device_fallback_multiplier(ue.type);
+    // Replay the hot loop's serving chain so `volume` approximates the HOs
+    // that would actually be recorded (same-sector opportunities are skipped
+    // there and must not count toward the denominator).
+    topology::SectorId serving =
+        locate_sector(plans_[ue.id].home, ObservedRat::kG45Nsa, ue, kProbeDay, 0,
+                      probe_rng);
+    for (const auto& event : trace) {
+      const topology::SiteId site = deployment_->site_index().nearest(event.position);
+      if (site == geo::SpatialIndex::kNotFound) continue;
+      const geo::PostcodeId pc = deployment_->site(site).postcode;
+      const int bin = util::SimCalendar::half_hour_bin(event.time);
+      const topology::SectorId intra_target =
+          locate_sector(event.position, ObservedRat::kG45Nsa, ue, kProbeDay, bin,
+                        probe_rng);
+      // A drawn fallback executes wherever the coverage profile advertises
+      // 3G and a target sector is locatable — even if the intra HO would
+      // have been a same-sector no-op.
+      const bool fallback_executable =
+          coverage_->at(pc).has_rat[static_cast<std::size_t>(topology::Rat::kG3)] &&
+          locate_sector(event.position, ObservedRat::kG3, ue, kProbeDay, bin,
+                        probe_rng) != kInvalidSector;
+      if (fallback_executable) volume_3g[pc] += mult;
+      if (intra_target == kInvalidSector) continue;
+      if (intra_target != serving) {
+        volume[pc] += mult;
+        serving = intra_target;
+      } else if (fallback_executable) {
+        // Counts only via the fallback numerator; approximate its small
+        // denominator contribution (it records a HO when the fallback fires).
+        volume[pc] += mult * coverage_->at(pc).p_fallback_3g;
+      }
+    }
+  }
+  coverage_->recalibrate(volume, volume_3g,
+                         config_.coverage.target_share_3g /
+                             std::max(config_.coverage.smartphone_volume_share, 0.5));
+}
+
+void Simulator::add_sink(telemetry::RecordSink* sink) {
+  if (sink == nullptr) throw std::invalid_argument{"Simulator::add_sink: null sink"};
+  sinks_.push_back(sink);
+}
+
+void Simulator::add_metrics_sink(telemetry::MetricsSink* sink) {
+  if (sink == nullptr) throw std::invalid_argument{"Simulator::add_metrics_sink: null"};
+  metrics_sinks_.push_back(sink);
+}
+
+void Simulator::run() {
+  for (int day = 0; day < config_.days; ++day) run_day(day);
+}
+
+void Simulator::run_day(int day) {
+  if (day < 0) throw std::invalid_argument{"Simulator::run_day: negative day"};
+  for (const auto& ue : population_->ues()) {
+    // Only 4G/5G-capable devices produce records at the EPC observation
+    // point (§8): legacy-only UEs handover inside 2G/3G, which the MME
+    // never sees — but their mobility metrics still exist network-side.
+    if (topology::supports(ue.rat_support, topology::Rat::kG4)) {
+      simulate_ue_day(ue, plans_[ue.id], day);
+    } else if (config_.collect_ue_metrics && !metrics_sinks_.empty()) {
+      simulate_legacy_ue_day(ue, plans_[ue.id], day);
+    }
+  }
+  for (auto* sink : sinks_) sink->on_day_end(day);
+}
+
+topology::SectorId Simulator::locate_sector(const util::GeoPoint& position,
+                                            ObservedRat rat_class, const devices::Ue& ue,
+                                            int day, int bin, util::Rng& rng) const {
+  // Try the nearest few sites; a site may lack the requested layer.
+  const auto near = deployment_->site_index().nearest_k(position, 3);
+  for (const topology::SiteId site : near) {
+    const auto sector = selector_->pick_sector(site, rat_class, ue, rng);
+    if (!sector) continue;
+    const auto& s = deployment_->sector(*sector);
+    if (energy_.is_active(s, day, bin)) return *sector;
+    // The booster is asleep: fall back to any always-on sector of the same
+    // class on this site.
+    for (const topology::SectorId sid : deployment_->site(site).sectors) {
+      const auto& alt = deployment_->sector(sid);
+      if (!alt.capacity_booster && topology::observe(alt.rat) == rat_class &&
+          topology::supports(ue.rat_support, alt.rat)) {
+        return sid;
+      }
+    }
+    return *sector;  // no always-on alternative: the booster wakes for the HO
+  }
+  return kInvalidSector;
+}
+
+void Simulator::simulate_legacy_ue_day(const devices::Ue& ue,
+                                       const mobility::UePlan& plan, int day) {
+  util::Rng rng = util::Rng::derive(config_.seed, 0x1e64u, ue.id,
+                                    static_cast<std::uint64_t>(day));
+  const mobility::DailyTrace trace = traces_->generate(ue, plan, day);
+  const topology::ObservedRat rat_class =
+      ue.rat_support == topology::RatSupport::kUpTo2G ? topology::ObservedRat::kG2
+                                                      : topology::ObservedRat::kG3;
+
+  mobility::MobilityMetricsBuilder metrics;
+  util::TimestampMs t0 = static_cast<util::TimestampMs>(day) * util::kMsPerDay;
+  topology::SectorId serving = locate_sector(plan.home, rat_class, ue, day, 0, rng);
+  util::TimestampMs serving_since = t0;
+  std::uint32_t handovers = 0;
+
+  for (const auto& event : trace) {
+    if (serving == kInvalidSector) break;
+    const int bin = util::SimCalendar::half_hour_bin(event.time);
+    const topology::SectorId target =
+        locate_sector(event.position, rat_class, ue, day, bin, rng);
+    if (target == kInvalidSector || target == serving) continue;
+    const auto& source = deployment_->sector(serving);
+    metrics.add_visit(serving, deployment_->site(source.site).location,
+                      static_cast<double>(event.time - serving_since));
+    serving = target;
+    serving_since = event.time;
+    ++handovers;
+  }
+  if (serving != kInvalidSector) {
+    const auto& last = deployment_->sector(serving);
+    metrics.add_visit(serving, deployment_->site(last.site).location,
+                      static_cast<double>((static_cast<util::TimestampMs>(day) + 1) *
+                                              util::kMsPerDay -
+                                          serving_since));
+  }
+  telemetry::UeDayMetrics m;
+  m.ue = ue.id;
+  m.day = day;
+  m.handovers = handovers;
+  m.failures = 0;  // legacy HOFs are outside this study's observation point
+  m.distinct_sectors =
+      metrics.empty() ? (serving != kInvalidSector ? 1u : 0u) : metrics.distinct_sectors();
+  m.radius_of_gyration_km = static_cast<float>(metrics.radius_of_gyration_km());
+  m.device_type = ue.type;
+  for (auto* sink : metrics_sinks_) sink->consume(m);
+}
+
+void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& plan,
+                                int day) {
+  util::Rng rng = util::Rng::derive(config_.seed, 0x51e0u, ue.id,
+                                    static_cast<std::uint64_t>(day));
+  const mobility::DailyTrace trace = traces_->generate(ue, plan, day);
+
+  mobility::MobilityMetricsBuilder metrics;
+
+  // Initial serving sector: where the UE wakes up (home at midnight).
+  util::TimestampMs t0 = static_cast<util::TimestampMs>(day) * util::kMsPerDay;
+  topology::SectorId serving =
+      locate_sector(plan.home, ObservedRat::kG45Nsa, ue, day, 0, rng);
+  if (serving == kInvalidSector && !trace.empty()) {
+    serving = locate_sector(trace.front().position, ObservedRat::kG45Nsa, ue, day, 0, rng);
+  }
+
+  std::uint32_t handovers = 0;
+  std::uint32_t failures = 0;
+  util::TimestampMs serving_since = t0;
+  // Ping-pong suppression state: the sector the UE most recently left.
+  topology::SectorId previous_serving = kInvalidSector;
+  util::TimestampMs last_ho_time = 0;
+
+  const double voice_share = config_.voice_share[static_cast<std::size_t>(ue.type)];
+
+  for (const auto& event : trace) {
+    if (serving == kInvalidSector) break;  // out of coverage world; nothing observable
+    const int bin = util::SimCalendar::half_hour_bin(event.time);
+    const auto& source = deployment_->sector(serving);
+
+    // RAN decision: does this 4G/5G device stay horizontal or fall back?
+    const bool voice_active = rng.chance(voice_share);
+    const geo::PostcodeId event_pc =
+        deployment_->site(deployment_->site_index().nearest(event.position)).postcode;
+    const ran::TargetDecision decision =
+        selector_->decide(ue, event_pc, voice_active, rng);
+
+    const topology::SectorId target =
+        locate_sector(event.position, decision.target_rat, ue, day, bin, rng);
+    if (target == kInvalidSector) continue;
+    if (target == serving) continue;  // no better cell: no HO this opportunity
+    // Sub-cell-movement detection: refuse to bounce straight back to the
+    // sector the UE just left (ping-pong suppression policy).
+    if (config_.suppress_ping_pong && target == previous_serving &&
+        event.time - last_ho_time <= config_.ping_pong_window_ms) {
+      continue;
+    }
+
+    const auto& target_sector = deployment_->sector(target);
+    const double overload = ran::LoadModel::overload_rejection_probability(
+        load_model_.utilization(target_sector, day, bin));
+
+    corenet::HoAttempt attempt;
+    attempt.ue = &ue;
+    attempt.source_sector = serving;
+    attempt.target_sector = target;
+    attempt.target_rat = decision.target_rat;
+    attempt.source_vendor = source.vendor;
+    attempt.area = source.area_type;
+    attempt.region = source.region;
+    attempt.time = event.time;
+    attempt.target_overload = overload;
+    attempt.srvcc = decision.srvcc;
+    // EN-DC applies when the UE rides an NR secondary on either end of the
+    // HO (the EPC still logs plain 4G/5G-NSA).
+    attempt.endc = source.rat == topology::Rat::kG5Nr ||
+                   target_sector.rat == topology::Rat::kG5Nr;
+
+    const corenet::HoOutcome outcome = procedure_.execute(attempt, core_, rng);
+
+    telemetry::HandoverRecord record;
+    record.timestamp = event.time;
+    record.success = outcome.success;
+    record.duration_ms = static_cast<float>(outcome.duration_ms);
+    record.cause = outcome.cause;
+    record.anon_user_id = ue.anon_id;
+    record.source_sector = serving;
+    record.target_sector = target;
+    record.source_rat = ObservedRat::kG45Nsa;
+    record.target_rat = decision.target_rat;
+    record.device_type = ue.type;
+    record.manufacturer = ue.manufacturer;
+    record.postcode = source.postcode;
+    record.district = source.district;
+    record.area = source.area_type;
+    record.region = source.region;
+    record.vendor = source.vendor;
+    record.srvcc = decision.srvcc;
+    for (auto* sink : sinks_) sink->consume(record);
+    ++records_emitted_;
+
+    ++handovers;
+    if (!outcome.success) ++failures;
+
+    if (outcome.success) {
+      // Book the dwell on the sector we are leaving, then switch.
+      metrics.add_visit(serving, deployment_->site(source.site).location,
+                        static_cast<double>(event.time - serving_since));
+      previous_serving = serving;
+      last_ho_time = event.time;
+      serving = target;
+      serving_since = event.time;
+      // Fallbacks are transient: the UE reselects back to 4G/5G before its
+      // next observable HO (the paper never sees 3G->4G, only the next
+      // 4G-sourced HO). Model that by restoring a 4G/5G serving sector.
+      if (decision.target_rat != ObservedRat::kG45Nsa) {
+        const topology::SectorId back =
+            locate_sector(event.position, ObservedRat::kG45Nsa, ue, day, bin, rng);
+        if (back != kInvalidSector) serving = back;
+      }
+    }
+  }
+
+  if (config_.collect_ue_metrics && !metrics_sinks_.empty()) {
+    if (serving != kInvalidSector) {
+      const auto& last = deployment_->sector(serving);
+      metrics.add_visit(serving, deployment_->site(last.site).location,
+                        static_cast<double>((static_cast<util::TimestampMs>(day) + 1) *
+                                                util::kMsPerDay -
+                                            serving_since));
+    }
+    telemetry::UeDayMetrics m;
+    m.ue = ue.id;
+    m.day = day;
+    m.handovers = handovers;
+    m.failures = failures;
+    m.distinct_sectors = metrics.empty() ? (serving != kInvalidSector ? 1u : 0u)
+                                         : metrics.distinct_sectors();
+    m.radius_of_gyration_km = static_cast<float>(metrics.radius_of_gyration_km());
+    m.device_type = ue.type;
+    for (auto* sink : metrics_sinks_) sink->consume(m);
+  }
+}
+
+}  // namespace tl::core

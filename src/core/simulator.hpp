@@ -1,0 +1,104 @@
+#pragma once
+
+// The countrywide simulator: ties every substrate together and streams
+// handover records through registered sinks, one study day at a time.
+//
+// Construction builds the full world (census -> country -> deployment ->
+// catalog -> population -> coverage profiles -> core network). run()/
+// run_day() then replay UE movement through the RAN decision logic and the
+// EPC handover state machine. Everything is deterministic in the seed.
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core_network/duration_model.hpp"
+#include "core_network/entities.hpp"
+#include "core_network/failure_causes.hpp"
+#include "core_network/failure_model.hpp"
+#include "core_network/ho_state_machine.hpp"
+#include "devices/population.hpp"
+#include "geo/country.hpp"
+#include "mobility/activity.hpp"
+#include "mobility/trace_generator.hpp"
+#include "ran/coverage.hpp"
+#include "ran/load.hpp"
+#include "ran/target_selection.hpp"
+#include "telemetry/sinks.hpp"
+#include "topology/deployment.hpp"
+#include "topology/energy_saving.hpp"
+
+namespace tl::core {
+
+class Simulator {
+ public:
+  explicit Simulator(StudyConfig config);
+
+  /// Sinks are borrowed; they must outlive the simulator's run calls.
+  void add_sink(telemetry::RecordSink* sink);
+  void add_metrics_sink(telemetry::MetricsSink* sink);
+
+  /// Runs all configured days.
+  void run();
+  /// Runs a single day (idempotent per day; callers sequence days).
+  void run_day(int day);
+
+  const StudyConfig& config() const noexcept { return config_; }
+  const geo::Country& country() const noexcept { return *country_; }
+  const topology::Deployment& deployment() const noexcept { return *deployment_; }
+  const devices::Catalog& catalog() const noexcept { return *catalog_; }
+  const devices::Population& population() const noexcept { return *population_; }
+  const ran::CoverageMap& coverage() const noexcept { return *coverage_; }
+  const mobility::ActivityModel& activity() const noexcept { return activity_; }
+  const mobility::TraceGenerator& traces() const noexcept { return *traces_; }
+  const corenet::CoreNetwork& core_network() const noexcept { return core_; }
+  const corenet::FailureModel& failure_model() const noexcept { return failure_model_; }
+  const corenet::CauseCatalog& cause_catalog() const noexcept { return causes_; }
+
+  std::uint64_t records_emitted() const noexcept { return records_emitted_; }
+
+ private:
+  void simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& plan, int day);
+  /// Legacy-only UEs never surface at the EPC observation point, but their
+  /// mobility (visited 2G/3G sectors, gyration) still exists network-side
+  /// (SGSN view) and feeds the §3.3 metrics. Emits metrics, no records.
+  void simulate_legacy_ue_day(const devices::Ue& ue, const mobility::UePlan& plan,
+                              int day);
+  /// Probe pass: samples traces, measures where HO events actually land,
+  /// and re-calibrates the coverage fallback probabilities on that volume.
+  void calibrate_coverage();
+  /// Serving/target sector on the site nearest `position` for the UE's RAT
+  /// class, honoring the energy-saving schedule. kInvalidSector if none.
+  topology::SectorId locate_sector(const util::GeoPoint& position,
+                                   topology::ObservedRat rat_class,
+                                   const devices::Ue& ue, int day, int bin,
+                                   util::Rng& rng) const;
+
+  static constexpr topology::SectorId kInvalidSector = 0xffffffffu;
+
+  StudyConfig config_;
+  std::unique_ptr<geo::Country> country_;
+  std::unique_ptr<topology::Deployment> deployment_;
+  std::unique_ptr<devices::Catalog> catalog_;
+  std::unique_ptr<devices::Population> population_;
+  std::unique_ptr<ran::CoverageMap> coverage_;
+  mobility::ActivityModel activity_;
+  std::unique_ptr<mobility::TraceGenerator> traces_;
+  std::unique_ptr<ran::TargetSelector> selector_;
+  ran::LoadModel load_model_;
+  topology::EnergySavingPolicy energy_;
+  corenet::FailureModel failure_model_;
+  corenet::DurationModel durations_;
+  corenet::CauseCatalog causes_;
+  corenet::HandoverProcedure procedure_;
+  corenet::CoreNetwork core_;
+
+  /// Cached per-UE plans (stable across days).
+  std::vector<mobility::UePlan> plans_;
+
+  std::vector<telemetry::RecordSink*> sinks_;
+  std::vector<telemetry::MetricsSink*> metrics_sinks_;
+  std::uint64_t records_emitted_ = 0;
+};
+
+}  // namespace tl::core

@@ -1,0 +1,38 @@
+#include "core_network/entities.hpp"
+
+namespace tl::corenet {
+
+CoreNetwork::CoreNetwork() {
+  for (const geo::Region r : geo::kAllRegions) {
+    const auto i = static_cast<std::size_t>(r);
+    mmes_[i].region = r;
+    sgsns_[i].region = r;
+    mscs_[i].region = r;
+    sgws_[i].region = r;
+  }
+}
+
+void CoreNetwork::record_handover(geo::Region region, topology::ObservedRat target,
+                                  bool success, bool srvcc) noexcept {
+  const auto i = static_cast<std::size_t>(region);
+  mmes_[i].handovers.record(success);
+  switch (target) {
+    case topology::ObservedRat::kG45Nsa:
+      mmes_[i].path_switches.record(success);
+      if (success) ++sgws_[i].bearer_modifications;
+      break;
+    case topology::ObservedRat::kG3:
+    case topology::ObservedRat::kG2:
+      sgsns_[i].relocations.record(success);
+      break;
+  }
+  if (srvcc) mscs_[i].srvcc.record(success);
+}
+
+std::uint64_t CoreNetwork::total_handovers() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& m : mmes_) total += m.handovers.procedures;
+  return total;
+}
+
+}  // namespace tl::corenet

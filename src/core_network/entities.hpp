@@ -1,0 +1,91 @@
+#pragma once
+
+// Core-network entities (Fig. 2's measurement points): the MME tracks 4G /
+// 5G-NSA mobility, the SGSN manages the 2G/3G packet domain, the MSC owns
+// circuit-switched voice (SRVCC's far end), and the SGW forwards the user
+// plane. One pool of each per region, as MNOs deploy them.
+//
+// Entities are passive observers in the simulator: the HO state machine
+// routes each procedure through the right pair and bumps their counters,
+// which is exactly the vantage point the paper's probes tap.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geo/region.hpp"
+#include "topology/rat.hpp"
+
+namespace tl::corenet {
+
+struct EntityCounters {
+  std::uint64_t procedures = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+
+  void record(bool success) noexcept {
+    ++procedures;
+    (success ? successes : failures)++;
+  }
+  double failure_rate() const noexcept {
+    return procedures ? static_cast<double>(failures) / static_cast<double>(procedures)
+                      : 0.0;
+  }
+};
+
+struct Mme {
+  geo::Region region = geo::Region::kNorth;
+  EntityCounters handovers;     // all HOs anchored at this MME
+  EntityCounters path_switches; // intra 4G/5G-NSA completions
+};
+
+struct Sgsn {
+  geo::Region region = geo::Region::kNorth;
+  EntityCounters relocations;  // inter-RAT HOs toward 2G/3G
+};
+
+struct Msc {
+  geo::Region region = geo::Region::kNorth;
+  EntityCounters srvcc;  // PS->CS voice continuity procedures
+};
+
+struct Sgw {
+  geo::Region region = geo::Region::kNorth;
+  std::uint64_t bearer_modifications = 0;
+};
+
+/// The regional core: every HO procedure is routed through the MME of the
+/// source sector's region and, for inter-RAT targets, the matching SGSN/MSC.
+class CoreNetwork {
+ public:
+  CoreNetwork();
+
+  Mme& mme(geo::Region r) noexcept { return mmes_[static_cast<std::size_t>(r)]; }
+  Sgsn& sgsn(geo::Region r) noexcept { return sgsns_[static_cast<std::size_t>(r)]; }
+  Msc& msc(geo::Region r) noexcept { return mscs_[static_cast<std::size_t>(r)]; }
+  Sgw& sgw(geo::Region r) noexcept { return sgws_[static_cast<std::size_t>(r)]; }
+
+  const Mme& mme(geo::Region r) const noexcept {
+    return mmes_[static_cast<std::size_t>(r)];
+  }
+  const Sgsn& sgsn(geo::Region r) const noexcept {
+    return sgsns_[static_cast<std::size_t>(r)];
+  }
+  const Msc& msc(geo::Region r) const noexcept {
+    return mscs_[static_cast<std::size_t>(r)];
+  }
+
+  /// Books one HO procedure into the entities it traverses.
+  void record_handover(geo::Region region, topology::ObservedRat target, bool success,
+                       bool srvcc) noexcept;
+
+  std::uint64_t total_handovers() const noexcept;
+
+ private:
+  std::array<Mme, 4> mmes_;
+  std::array<Sgsn, 4> sgsns_;
+  std::array<Msc, 4> mscs_;
+  std::array<Sgw, 4> sgws_;
+};
+
+}  // namespace tl::corenet

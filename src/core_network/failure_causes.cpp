@@ -1,0 +1,158 @@
+#include "core_network/failure_causes.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/distributions.hpp"
+
+namespace tl::corenet {
+
+namespace {
+
+using devices::DeviceType;
+using geo::AreaType;
+using topology::ObservedRat;
+
+constexpr std::array<std::string_view, 8> kDominantDescriptions{
+    "The source sector canceled the HO",
+    "The signaling procedure was aborted due to interfering S1AP Initial UE Message",
+    "Signaling procedure was rejected due to invalid target sector ID",
+    "Load on target sector is too high",
+    "MME detects a HO-related failure in the target MME, SGW, PGW, cell, or system",
+    "The SRVCC service is not subscribed by the UE",
+    "The MSC responds with PS to CS Response with cause indicating failure",
+    "No Forward Relocation Complete or Notification was received before the max time "
+    "for waiting for the relocation completion expires",
+};
+
+/// Base weights over {#1..#8, tail} per target RAT class, before context
+/// modulation. Calibrated so the national aggregates land on Fig. 14a:
+/// #3 dominates intra failures, #4 dominates fallback-to-3G failures, and
+/// the tail stays near 8% overall.
+constexpr std::array<double, 9> base_weights(ObservedRat target) noexcept {
+  switch (target) {
+    case ObservedRat::kG45Nsa: return {3.0, 8.0, 65.0, 8.0, 5.0, 0.0, 0.0, 4.0, 7.0};
+    case ObservedRat::kG3: return {11.0, 4.0, 1.0, 30.0, 18.0, 8.0, 4.0, 9.0, 7.0};
+    case ObservedRat::kG2: return {20.0, 0.0, 5.0, 28.0, 25.0, 0.0, 0.0, 11.0, 11.0};
+  }
+  return {};
+}
+
+const char* const kTailTemplates[] = {
+    "RRC reconfiguration timer expiry in target cell",
+    "X2/S1 transport bearer setup rejected",
+    "GTP-C message with malformed relocation TEID",
+    "Admission control veto on guaranteed-bitrate bearer",
+    "Target cell barred during maintenance window",
+    "Security context transfer integrity check failed",
+    "UE capability mismatch discovered during preparation",
+    "RIM association missing for target routing area",
+    "Paging overload protection throttled relocation",
+    "Licensed capacity ceiling reached on target carrier",
+};
+
+}  // namespace
+
+CauseCatalog::CauseCatalog(std::uint64_t seed, std::size_t tail_causes) {
+  if (tail_causes < 10) throw std::invalid_argument{"CauseCatalog: tail too small"};
+  util::Rng rng = util::Rng::derive(seed, 0x7a11u);
+  tail_descriptions_.reserve(tail_causes);
+  for (std::size_t i = 0; i < tail_causes; ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "Vendor V%u sub-cause 0x%03zX: %s (variant %zu)",
+                  static_cast<unsigned>(1 + rng.below(4)), 0x100 + i,
+                  kTailTemplates[i % std::size(kTailTemplates)],
+                  i / std::size(kTailTemplates));
+    tail_descriptions_.emplace_back(buf);
+  }
+  // Zipf(1.2) mass over the tail: a handful of vendor sub-causes recur while
+  // most appear a few times over four weeks, as in the measured catalog.
+  tail_cdf_.resize(tail_causes);
+  double total = 0.0;
+  for (std::size_t i = 0; i < tail_causes; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), 1.2);
+    tail_cdf_[i] = total;
+  }
+  for (auto& v : tail_cdf_) v /= total;
+  tail_cdf_.back() = 1.0;
+}
+
+std::array<double, 9> CauseCatalog::weights(const CauseContext& context) const {
+  std::array<double, 9> w = base_weights(context.target);
+
+  // SRVCC-specific causes only exist on the SRVCC path; an unsubscribed UE
+  // attempting SRVCC overwhelmingly fails with Cause #6.
+  if (!context.srvcc_attempt) {
+    w[5] = 0.0;  // #6
+    w[6] = 0.0;  // #7
+  } else {
+    w[6] *= 10.0;
+    if (!context.srvcc_subscribed) {
+      w[5] = 400.0;
+    } else {
+      w[5] = 0.0;
+    }
+  }
+
+  // Area effects (Fig. 15a): cancellations and both SRVCC causes skew rural;
+  // target overload is an urban, dense-deployment phenomenon.
+  if (context.area == AreaType::kRural) {
+    w[0] *= 1.5;
+    w[5] *= 1.8;
+    w[6] *= 2.0;
+    w[3] *= 0.45;
+  } else {
+    w[3] *= 1.7;
+  }
+
+  // Device effects (Fig. 15b): M2M/IoT profiles hit configuration errors
+  // (#3) and relocation timeouts (#8, x3) but essentially never SRVCC.
+  switch (context.device) {
+    case DeviceType::kM2mIot:
+      w[2] *= 2.5;
+      w[7] *= 3.0;
+      w[5] *= 0.05;
+      w[6] *= 0.02;
+      break;
+    case DeviceType::kFeaturePhone:
+      w[5] *= 3.0;
+      break;
+    case DeviceType::kSmartphone:
+      break;
+  }
+
+  // Peak-hour load concentration (#4), plus direct overload modulation.
+  const bool peak = (context.hour >= 7 && context.hour < 9) ||
+                    (context.hour >= 15 && context.hour < 18);
+  w[3] *= (peak ? 1.6 : 1.0) * (1.0 + 8.0 * context.overload);
+  return w;
+}
+
+CauseId CauseCatalog::sample(const CauseContext& context, util::Rng& rng) const {
+  const std::array<double, 9> w = weights(context);
+  double total = 0.0;
+  for (const double v : w) total += v;
+  if (total <= 0.0) return kCause5MmeDetectedFailure;  // degenerate context
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < 8; ++i) {
+    u -= w[i];
+    if (u <= 0.0) return static_cast<CauseId>(i + 1);
+  }
+  // Long tail: pick a vendor sub-cause by its Zipf mass.
+  const double t = rng.uniform();
+  const auto it = std::lower_bound(tail_cdf_.begin(), tail_cdf_.end(), t);
+  return static_cast<CauseId>(kFirstTailCause + (it - tail_cdf_.begin()));
+}
+
+std::string_view CauseCatalog::description(CauseId cause) const {
+  if (cause == kCauseNone) return "Success";
+  if (is_dominant_cause(cause)) return kDominantDescriptions[cause - 1];
+  const std::size_t idx = cause - kFirstTailCause;
+  if (idx < tail_descriptions_.size()) return tail_descriptions_[idx];
+  throw std::out_of_range{"CauseCatalog::description: unknown cause"};
+}
+
+}  // namespace tl::corenet

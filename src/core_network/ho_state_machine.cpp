@@ -1,0 +1,149 @@
+#include "core_network/ho_state_machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace tl::corenet {
+
+using topology::ObservedRat;
+
+HoOutcome HandoverProcedure::execute(const HoAttempt& attempt, CoreNetwork& core,
+                                     util::Rng& rng, MessageTrace* trace) const {
+  if (attempt.ue == nullptr) throw std::invalid_argument{"HoAttempt: null UE"};
+
+  FailureContext fctx;
+  fctx.target = attempt.target_rat;
+  fctx.vendor = attempt.source_vendor;
+  fctx.area = attempt.area;
+  fctx.region = attempt.region;
+  fctx.source_sector = attempt.source_sector;
+  fctx.day = util::SimCalendar::day_index(attempt.time);
+  fctx.overload = attempt.target_overload;
+  fctx.ue_hof_multiplier = attempt.ue->hof_multiplier;
+  // An SRVCC attempt without the subscription cannot succeed: the service
+  // check in preparation rejects it (Cause #6's mechanism).
+  const bool doomed_srvcc = attempt.srvcc && !attempt.ue->srvcc_subscribed;
+  const double p_fail = doomed_srvcc ? 1.0 : failure_model_.failure_probability(fctx);
+
+  HoOutcome outcome;
+  outcome.success = !rng.chance(p_fail);
+  if (outcome.success) {
+    outcome.duration_ms = durations_.success_duration_ms(attempt.target_rat, rng);
+    // EN-DC: releasing and re-adding the 5G secondary node costs extra
+    // signaling round-trips (~15% on the paper's tens-of-ms intra HOs).
+    if (attempt.endc) outcome.duration_ms *= 1.0 + 0.15 * rng.uniform(0.6, 1.4);
+  } else if (doomed_srvcc) {
+    // The subscriber-data check fails before any signaling starts.
+    outcome.cause = kCause6SrvccNotSubscribed;
+    outcome.duration_ms = 0.0;
+  } else {
+    CauseContext cctx;
+    cctx.target = attempt.target_rat;
+    cctx.device = attempt.ue->type;
+    cctx.area = attempt.area;
+    cctx.hour = util::SimCalendar::hour_of_day(attempt.time);
+    cctx.overload = attempt.target_overload;
+    cctx.srvcc_attempt = attempt.srvcc;
+    cctx.srvcc_subscribed = attempt.ue->srvcc_subscribed;
+    outcome.cause = causes_.sample(cctx, rng);
+    outcome.duration_ms = durations_.failure_duration_ms(outcome.cause, rng);
+  }
+
+  core.record_handover(attempt.region, attempt.target_rat, outcome.success, attempt.srvcc);
+  if (trace != nullptr) emit_trace(attempt, outcome, *trace);
+  return outcome;
+}
+
+void HandoverProcedure::emit_trace(const HoAttempt& attempt, const HoOutcome& outcome,
+                                   MessageTrace& trace) const {
+  const bool inter_rat = attempt.target_rat != ObservedRat::kG45Nsa;
+
+  // Assemble the full Fig. 1 sequence for this HO flavor, then truncate at
+  // the step where the failure cause strikes.
+  std::vector<MessageType> steps{MessageType::kMeasurementReport, MessageType::kHoDecision,
+                                 MessageType::kHoRequired};
+  if (attempt.endc) steps.push_back(MessageType::kSgNbReleaseRequest);
+  if (inter_rat) steps.push_back(MessageType::kForwardRelocationRequest);
+  if (attempt.srvcc) {
+    steps.push_back(MessageType::kPsToCsRequest);
+    steps.push_back(MessageType::kPsToCsResponse);
+  }
+  steps.push_back(MessageType::kHoRequest);
+  steps.push_back(MessageType::kHoRequestAck);
+  steps.push_back(MessageType::kHoCommand);
+  steps.push_back(MessageType::kRachPreamble);
+  steps.push_back(MessageType::kHoConfirm);
+  if (inter_rat) {
+    steps.push_back(MessageType::kForwardRelocationComplete);
+  } else {
+    steps.push_back(MessageType::kHoNotify);
+    steps.push_back(MessageType::kPathSwitchRequest);
+    if (attempt.endc) {
+      // Secondary node re-established on the target anchor.
+      steps.push_back(MessageType::kSgNbAdditionRequest);
+      steps.push_back(MessageType::kSgNbAdditionRequestAck);
+      steps.push_back(MessageType::kSgNbReconfigurationComplete);
+    }
+  }
+  steps.push_back(MessageType::kUeContextRelease);
+
+  std::size_t cut = steps.size();          // success: full sequence
+  MessageType epilogue = MessageType::kUeContextRelease;
+  bool has_epilogue = false;
+  if (!outcome.success) {
+    const auto cut_after = [&](MessageType type) {
+      const auto it = std::find(steps.begin(), steps.end(), type);
+      cut = it == steps.end() ? steps.size() : static_cast<std::size_t>(it - steps.begin()) + 1;
+    };
+    has_epilogue = true;
+    switch (outcome.cause) {
+      case kCause3InvalidTargetId:
+      case kCause6SrvccNotSubscribed:
+        cut_after(MessageType::kHoRequired);
+        epilogue = MessageType::kHoFailureIndication;
+        break;
+      case kCause2InterferingInitialUe:
+        cut_after(MessageType::kHoRequired);
+        epilogue = MessageType::kS1apInitialUeMessage;
+        break;
+      case kCause4TargetLoadTooHigh:
+        cut_after(MessageType::kHoRequest);
+        epilogue = MessageType::kHoFailureIndication;
+        break;
+      case kCause1SourceCancelled:
+        cut_after(MessageType::kHoCommand);
+        epilogue = MessageType::kHoCancel;
+        break;
+      case kCause7PsToCsFailure:
+        cut_after(MessageType::kPsToCsResponse);
+        epilogue = MessageType::kHoFailureIndication;
+        break;
+      case kCause8RelocationTimeout:
+        cut_after(MessageType::kHoConfirm);
+        epilogue = MessageType::kHoFailureIndication;
+        break;
+      default:
+        cut_after(MessageType::kHoRequestAck);
+        epilogue = MessageType::kHoFailureIndication;
+        break;
+    }
+  }
+
+  // Spread step timestamps across the measured signaling time.
+  const std::size_t emitted = cut + (has_epilogue ? 1 : 0);
+  const double step_ms =
+      emitted > 1 ? outcome.duration_ms / static_cast<double>(emitted - 1) : 0.0;
+  for (std::size_t i = 0; i < cut; ++i) {
+    trace.push_back({steps[i],
+                     attempt.time + static_cast<util::TimestampMs>(step_ms * i),
+                     attempt.source_sector, attempt.target_sector});
+  }
+  if (has_epilogue) {
+    trace.push_back({epilogue,
+                     attempt.time + static_cast<util::TimestampMs>(outcome.duration_ms),
+                     attempt.source_sector, attempt.target_sector});
+  }
+}
+
+}  // namespace tl::corenet

@@ -1,0 +1,65 @@
+#pragma once
+
+// The handover procedure of Fig. 1, executed per attempt.
+//
+// Given a prepared attempt (source/target sectors, target RAT class, SRVCC
+// flag, local context), the procedure decides success/failure through the
+// FailureModel, draws a cause and signaling time, books the involved core
+// entities, and — when tracing is enabled — emits the full Fig. 1 message
+// sequence, truncated at the step where the chosen cause strikes.
+
+#include "core_network/duration_model.hpp"
+#include "core_network/entities.hpp"
+#include "core_network/failure_causes.hpp"
+#include "core_network/failure_model.hpp"
+#include "core_network/messages.hpp"
+#include "devices/population.hpp"
+#include "topology/sector.hpp"
+#include "util/sim_time.hpp"
+
+namespace tl::corenet {
+
+struct HoAttempt {
+  const devices::Ue* ue = nullptr;
+  topology::SectorId source_sector = 0;
+  topology::SectorId target_sector = 0;
+  topology::ObservedRat target_rat = topology::ObservedRat::kG45Nsa;
+  topology::Vendor source_vendor = topology::Vendor::kV1;
+  geo::AreaType area = geo::AreaType::kUrban;
+  geo::Region region = geo::Region::kCapital;
+  util::TimestampMs time = 0;
+  /// Overload rejection probability at the target right now.
+  double target_overload = 0.0;
+  bool srvcc = false;
+  /// EN-DC: the UE holds a 5G secondary node through this HO (TS 37.340);
+  /// the procedure gains SgNB release/addition legs and runs longer.
+  bool endc = false;
+};
+
+struct HoOutcome {
+  bool success = true;
+  CauseId cause = kCauseNone;
+  double duration_ms = 0.0;
+};
+
+class HandoverProcedure {
+ public:
+  HandoverProcedure(const FailureModel& failure_model, const DurationModel& durations,
+                    const CauseCatalog& causes)
+      : failure_model_(failure_model), durations_(durations), causes_(causes) {}
+
+  /// Runs one HO; deterministic given `rng` state. Appends the signaling
+  /// sequence to `trace` when non-null.
+  HoOutcome execute(const HoAttempt& attempt, CoreNetwork& core, util::Rng& rng,
+                    MessageTrace* trace = nullptr) const;
+
+ private:
+  void emit_trace(const HoAttempt& attempt, const HoOutcome& outcome,
+                  MessageTrace& trace) const;
+
+  const FailureModel& failure_model_;
+  const DurationModel& durations_;
+  const CauseCatalog& causes_;
+};
+
+}  // namespace tl::corenet

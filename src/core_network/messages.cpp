@@ -1,0 +1,33 @@
+#include "core_network/messages.hpp"
+
+namespace tl::corenet {
+
+std::string_view to_string(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kMeasurementReport: return "Measurement Report";
+    case MessageType::kHoDecision: return "HO Decision";
+    case MessageType::kHoRequired: return "HO Required";
+    case MessageType::kForwardRelocationRequest: return "Forward Relocation Request";
+    case MessageType::kPsToCsRequest: return "PS to CS Request";
+    case MessageType::kPsToCsResponse: return "PS to CS Response";
+    case MessageType::kHoRequest: return "HO Request";
+    case MessageType::kHoRequestAck: return "HO Request Ack";
+    case MessageType::kHoCommand: return "HO Command (RRC Reconfiguration)";
+    case MessageType::kRachPreamble: return "RACH Preamble";
+    case MessageType::kHoConfirm: return "HO Confirm";
+    case MessageType::kHoNotify: return "HO Notify";
+    case MessageType::kPathSwitchRequest: return "Path Switch Request";
+    case MessageType::kForwardRelocationComplete: return "Forward Relocation Complete";
+    case MessageType::kUeContextRelease: return "UE Context Release";
+    case MessageType::kHoCancel: return "HO Cancel";
+    case MessageType::kS1apInitialUeMessage: return "S1AP Initial UE Message";
+    case MessageType::kHoFailureIndication: return "HO Failure Indication";
+    case MessageType::kSgNbReleaseRequest: return "SgNB Release Request";
+    case MessageType::kSgNbAdditionRequest: return "SgNB Addition Request";
+    case MessageType::kSgNbAdditionRequestAck: return "SgNB Addition Request Ack";
+    case MessageType::kSgNbReconfigurationComplete: return "SgNB Reconfiguration Complete";
+  }
+  return "?";
+}
+
+}  // namespace tl::corenet

@@ -1,0 +1,55 @@
+#pragma once
+
+// Control-plane signaling message vocabulary for the HO procedure (Fig. 1),
+// S1AP/GTPv2-C flavored. The state machine records these for inspection;
+// bulk simulation runs with tracing off.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "topology/sector.hpp"
+#include "util/sim_time.hpp"
+
+namespace tl::corenet {
+
+enum class MessageType : std::uint8_t {
+  kMeasurementReport = 0,
+  kHoDecision,               // source RAN picks the target
+  kHoRequired,               // source -> MME
+  kForwardRelocationRequest, // MME -> SGSN (inter-RAT)
+  kPsToCsRequest,            // MME -> MSC (SRVCC)
+  kPsToCsResponse,           // MSC -> MME
+  kHoRequest,                // MME/target side admission
+  kHoRequestAck,
+  kHoCommand,                // RRC Connection Reconfiguration toward the UE
+  kRachPreamble,             // UE synchronizes to the target
+  kHoConfirm,
+  kHoNotify,                 // target -> MME
+  kPathSwitchRequest,
+  kForwardRelocationComplete,
+  kUeContextRelease,
+  kHoCancel,
+  kS1apInitialUeMessage,     // the interferer behind Cause #2
+  kHoFailureIndication,
+  // EN-DC (EUTRA-NR Dual Connectivity, TS 37.340): the 4G master node adds
+  // or releases the 5G secondary node around the handover — the extra
+  // signaling the paper flags as a 5G-NSA complexity (§8).
+  kSgNbReleaseRequest,
+  kSgNbAdditionRequest,
+  kSgNbAdditionRequestAck,
+  kSgNbReconfigurationComplete,
+};
+
+std::string_view to_string(MessageType type) noexcept;
+
+struct SignalingMessage {
+  MessageType type = MessageType::kMeasurementReport;
+  util::TimestampMs time = 0;
+  topology::SectorId source_sector = 0;
+  topology::SectorId target_sector = 0;
+};
+
+using MessageTrace = std::vector<SignalingMessage>;
+
+}  // namespace tl::corenet

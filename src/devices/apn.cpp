@@ -1,0 +1,57 @@
+#include "devices/apn.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace tl::devices {
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kIotKeywords{
+    "m2m", "iot", "smart-meter", "smartmeter", "telemetry",
+    "fleet", "scada", "vending",
+};
+
+constexpr std::array<std::string_view, 6> kIotApns{
+    "m2m.operator.net",      "iot.operator.net",       "smart-meter.energy.net",
+    "fleet.telemetry.net",   "scada.industrial.net",   "vending.m2m.net",
+};
+
+constexpr std::array<std::string_view, 4> kConsumerApns{
+    "internet.operator.net",
+    "web.operator.net",
+    "wap.operator.net",
+    "broadband.operator.net",
+};
+
+std::string to_lower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+std::string sample_apn(DeviceType type, util::Rng& rng) {
+  if (type == DeviceType::kM2mIot) {
+    // ~88% of M2M devices are provisioned on vertical APNs; the rest ride
+    // consumer APNs (retail SIMs in routers etc.).
+    if (rng.chance(0.88)) {
+      return std::string{kIotApns[rng.below(kIotApns.size())]};
+    }
+    return std::string{kConsumerApns[rng.below(kConsumerApns.size())]};
+  }
+  return std::string{kConsumerApns[rng.below(kConsumerApns.size())]};
+}
+
+bool is_iot_apn(std::string_view apn) noexcept {
+  const std::string lower = to_lower(apn);
+  for (const std::string_view kw : kIotKeywords) {
+    if (lower.find(kw) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace tl::devices

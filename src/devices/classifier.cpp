@@ -1,0 +1,20 @@
+#include "devices/classifier.hpp"
+
+#include "devices/apn.hpp"
+
+namespace tl::devices {
+
+DeviceType classify_device(const DeviceModel* model, std::string_view apn) noexcept {
+  const bool iot_apn = is_iot_apn(apn);
+  if (model == nullptr) {
+    // No catalog entry: the APN is the only signal.
+    return iot_apn ? DeviceType::kM2mIot : DeviceType::kSmartphone;
+  }
+  // The catalog's own type attribute is authoritative for phones; the APN
+  // signal rescues M2M modules that the catalog lists ambiguously and
+  // reclassifies retail-catalogued devices wired into IoT verticals.
+  if (model->type == DeviceType::kM2mIot || iot_apn) return DeviceType::kM2mIot;
+  return model->type;
+}
+
+}  // namespace tl::devices

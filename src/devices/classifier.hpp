@@ -1,0 +1,22 @@
+#pragma once
+
+// Device-type classification heuristic (§3.1).
+//
+// Mirrors the paper's method: start from the GSMA catalog attributes for
+// the device's TAC and refine with the APN keyword signal. The classifier
+// is evaluated against ground truth in the test suite (it is a heuristic,
+// so accuracy is high but deliberately not perfect).
+
+#include <string_view>
+
+#include "devices/catalog.hpp"
+#include "devices/device_type.hpp"
+
+namespace tl::devices {
+
+/// Classifies a device given its catalog entry (may be null for unknown
+/// TACs) and configured APN. Unknown TACs fall back to the APN signal alone,
+/// defaulting to smartphone — the dominant class.
+DeviceType classify_device(const DeviceModel* model, std::string_view apn) noexcept;
+
+}  // namespace tl::devices

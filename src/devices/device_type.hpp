@@ -1,0 +1,30 @@
+#pragma once
+
+// The three device classes the paper distinguishes (§3.1, Fig. 4):
+// smartphones (59.1%), M2M/IoT devices (39.8%), low-tier feature phones (1.1%).
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tl::devices {
+
+enum class DeviceType : std::uint8_t {
+  kSmartphone = 0,
+  kM2mIot,
+  kFeaturePhone,
+};
+
+inline constexpr std::array<DeviceType, 3> kAllDeviceTypes{
+    DeviceType::kSmartphone, DeviceType::kM2mIot, DeviceType::kFeaturePhone};
+
+constexpr std::string_view to_string(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::kSmartphone: return "Smartphone";
+    case DeviceType::kM2mIot: return "M2M/IoT";
+    case DeviceType::kFeaturePhone: return "Feature phone";
+  }
+  return "?";
+}
+
+}  // namespace tl::devices

@@ -1,0 +1,181 @@
+#include "geo/census.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace tl::geo {
+
+namespace {
+
+using tl::util::GeoPoint;
+using tl::util::Rng;
+
+std::string district_name(std::uint32_t rank) {
+  if (rank == 0) return "Capital-Centre";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "District-%03u", rank);
+  return buf;
+}
+
+Region classify_region(const GeoPoint& p, const GeoPoint& capital, double width_km,
+                       double height_km) {
+  // The capital area is a disc around the capital centre; the rest of the
+  // country splits into West (left band), then North/South by latitude.
+  const double capital_radius = 0.11 * std::min(width_km, height_km);
+  if (tl::util::distance_km(p, capital) < capital_radius) return Region::kCapital;
+  if (p.x_km < 0.33 * width_km) return Region::kWest;
+  return p.y_km >= 0.5 * height_km ? Region::kNorth : Region::kSouth;
+}
+
+}  // namespace
+
+Country synthesize_country(const CensusConfig& config) {
+  if (config.districts < 10) throw std::invalid_argument{"synthesize_country: too few districts"};
+  if (config.total_population < config.districts * 100) {
+    throw std::invalid_argument{"synthesize_country: population too small"};
+  }
+
+  Rng rng = Rng::derive(config.seed, 0xce45u);
+  const std::uint32_t n = config.districts;
+
+  // --- District populations: rank-size (Zipf) law. -------------------------
+  tl::util::Zipf zipf{n, config.zipf_exponent};
+  std::vector<double> pop_share(n);
+  for (std::uint32_t i = 0; i < n; ++i) pop_share[i] = zipf.pmf(i);
+
+  // --- Spatial layout. ------------------------------------------------------
+  const GeoPoint capital{config.country_width_km * 0.52, config.country_height_km * 0.48};
+  std::vector<District> districts(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    District& d = districts[i];
+    d.id = i;
+    d.name = district_name(i);
+    d.population = static_cast<std::uint64_t>(
+        pop_share[i] * static_cast<double>(config.total_population));
+    if (d.population == 0) d.population = 100;
+    if (i == 0) {
+      d.centroid = capital;
+    } else if (i < 12) {
+      // Populous districts ring the capital (metropolitan belt).
+      const double angle = rng.uniform(0.0, 2.0 * M_PI);
+      const double radius = rng.uniform(15.0, 0.1 * config.country_width_km);
+      d.centroid = {capital.x_km + radius * std::cos(angle),
+                    capital.y_km + radius * std::sin(angle)};
+    } else {
+      d.centroid = {rng.uniform(0.02, 0.98) * config.country_width_km,
+                    rng.uniform(0.02, 0.98) * config.country_height_km};
+    }
+    d.region = classify_region(d.centroid, capital, config.country_width_km,
+                               config.country_height_km);
+  }
+
+  // --- District areas: the country partitions exactly; dense districts are
+  // small (capital centre), sparse ones sprawl. ------------------------------
+  const double total_area = config.country_width_km * config.country_height_km;
+  std::vector<double> area_weight(n);
+  double weight_sum = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double noise = std::exp(rng.normal(0.0, 0.55));
+    area_weight[i] = std::pow(pop_share[i], -0.22) * noise;
+    weight_sum += area_weight[i];
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    districts[i].area_km2 = area_weight[i] / weight_sum * total_area;
+  }
+
+  // --- Postcodes. -----------------------------------------------------------
+  std::vector<Postcode> postcodes;
+  for (auto& d : districts) {
+    // Mean postcode size ~12k residents; at least 3 per district.
+    const auto n_postcodes = static_cast<std::uint32_t>(std::clamp<double>(
+        std::round(static_cast<double>(d.population) / 12'000.0), 3.0, 400.0));
+
+    // Split population with exponential (Dirichlet(1)) weights skewed so a
+    // couple of town-centre postcodes dominate in rural districts too.
+    std::vector<double> weights(n_postcodes);
+    double wsum = 0.0;
+    for (auto& w : weights) {
+      w = rng.exponential(1.0) + (rng.chance(0.15) ? rng.exponential(0.3) : 0.0);
+      wsum += w;
+    }
+
+    const double district_radius = std::sqrt(d.area_km2 / M_PI);
+    std::uint64_t residents_left = d.population;
+    for (std::uint32_t j = 0; j < n_postcodes; ++j) {
+      Postcode pc;
+      pc.id = static_cast<PostcodeId>(postcodes.size());
+      pc.district = d.id;
+      if (j + 1 == n_postcodes) {
+        pc.residents = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(residents_left, 0xffffffffULL));
+      } else {
+        const auto share = static_cast<std::uint64_t>(
+            weights[j] / wsum * static_cast<double>(d.population));
+        pc.residents = static_cast<std::uint32_t>(std::min(share, residents_left));
+      }
+      residents_left -= pc.residents;
+      pc.census_reliable = !rng.chance(0.031);
+      pc.centroid = {d.centroid.x_km + rng.normal(0.0, district_radius / 2.2),
+                     d.centroid.y_km + rng.normal(0.0, district_radius / 2.2)};
+      pc.centroid.x_km = std::clamp(pc.centroid.x_km, 0.0, config.country_width_km);
+      pc.centroid.y_km = std::clamp(pc.centroid.y_km, 0.0, config.country_height_km);
+      postcodes.push_back(pc);
+    }
+
+    // Postcode areas: sublinear in residents so town postcodes are compact.
+    const std::size_t first = postcodes.size() - n_postcodes;
+    double area_sum = 0.0;
+    std::vector<double> raw(n_postcodes);
+    for (std::uint32_t j = 0; j < n_postcodes; ++j) {
+      raw[j] = std::pow(static_cast<double>(postcodes[first + j].residents) + 50.0, 0.35) *
+               std::exp(rng.normal(0.0, 0.3));
+      area_sum += raw[j];
+    }
+    for (std::uint32_t j = 0; j < n_postcodes; ++j) {
+      postcodes[first + j].area_km2 = raw[j] / area_sum * d.area_km2;
+    }
+    d.postcodes.resize(n_postcodes);
+    for (std::uint32_t j = 0; j < n_postcodes; ++j) {
+      d.postcodes[j] = static_cast<PostcodeId>(first + j);
+    }
+  }
+
+  // --- Calibrate the urban territory share to the configured target by
+  // shifting area between urban and rural postcodes within each district
+  // (keeps district areas exact). --------------------------------------------
+  double urban_area = 0.0;
+  double rural_area = 0.0;
+  for (const auto& pc : postcodes) {
+    (pc.area_type() == AreaType::kUrban ? urban_area : rural_area) += pc.area_km2;
+  }
+  if (urban_area > 0.0 && rural_area > 0.0) {
+    const double total = urban_area + rural_area;
+    const double f_urban = config.urban_territory_share * total / urban_area;
+    const double f_rural = (1.0 - config.urban_territory_share) * total / rural_area;
+    for (auto& d : districts) {
+      double u = 0.0;
+      double r = 0.0;
+      for (const PostcodeId id : d.postcodes) {
+        (postcodes[id].area_type() == AreaType::kUrban ? u : r) += postcodes[id].area_km2;
+      }
+      if (u == 0.0 || r == 0.0) continue;  // single-class district: leave as is
+      // Local blend of the global factors, renormalized to the district area.
+      const double scaled = u * f_urban + r * f_rural;
+      const double renorm = (u + r) / scaled;
+      for (const PostcodeId id : d.postcodes) {
+        auto& pc = postcodes[id];
+        pc.area_km2 *= (pc.area_type() == AreaType::kUrban ? f_urban : f_rural) * renorm;
+      }
+    }
+  }
+
+  return Country{std::move(districts), std::move(postcodes), config.country_width_km,
+                 config.country_height_km};
+}
+
+}  // namespace tl::geo

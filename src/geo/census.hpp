@@ -1,0 +1,33 @@
+#pragma once
+
+// Synthetic census office.
+//
+// Generates a country whose geodemographics match what the paper reports
+// about the studied one: 300+ districts, a dominant capital, population
+// densities spanning four orders of magnitude, and an urban/rural postcode
+// split in which urban postcodes hold most residents while covering roughly
+// half the territory (49.6% in the paper).
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/country.hpp"
+
+namespace tl::geo {
+
+struct CensusConfig {
+  std::uint32_t districts = 320;
+  std::uint64_t total_population = 47'000'000;
+  double country_width_km = 1000.0;
+  double country_height_km = 850.0;
+  /// Rank-size exponent for district populations (Zipf's law for cities).
+  double zipf_exponent = 1.05;
+  /// Share of territory that urban postcodes should cover (paper: 49.6%).
+  double urban_territory_share = 0.496;
+  std::uint64_t seed = 7;
+};
+
+/// Builds the synthetic country; deterministic given the config.
+Country synthesize_country(const CensusConfig& config);
+
+}  // namespace tl::geo

@@ -1,0 +1,40 @@
+#include "geo/country.hpp"
+
+#include <stdexcept>
+
+namespace tl::geo {
+
+Country::Country(std::vector<District> districts, std::vector<Postcode> postcodes,
+                 double width_km, double height_km)
+    : districts_(std::move(districts)),
+      postcodes_(std::move(postcodes)),
+      width_km_(width_km),
+      height_km_(height_km) {
+  if (districts_.empty() || postcodes_.empty()) {
+    throw std::invalid_argument{"Country: needs districts and postcodes"};
+  }
+  double best_density = -1.0;
+  for (const auto& d : districts_) {
+    total_population_ += d.population;
+    total_area_km2_ += d.area_km2;
+    if (d.population_density() > best_density) {
+      best_density = d.population_density();
+      densest_district_ = d.id;
+    }
+  }
+  for (const auto& pc : postcodes_) {
+    if (pc.area_type() == AreaType::kUrban) {
+      urban_area_km2_ += pc.area_km2;
+      urban_population_ += pc.residents;
+    }
+  }
+  if (total_area_km2_ <= 0.0) throw std::invalid_argument{"Country: zero area"};
+}
+
+double Country::urban_population_share() const noexcept {
+  return total_population_ > 0
+             ? static_cast<double>(urban_population_) / static_cast<double>(total_population_)
+             : 0.0;
+}
+
+}  // namespace tl::geo

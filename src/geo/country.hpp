@@ -1,0 +1,52 @@
+#pragma once
+
+// The synthesized country: districts, postcodes, and lookups over them.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/district.hpp"
+#include "geo/region.hpp"
+
+namespace tl::geo {
+
+class Country {
+ public:
+  Country(std::vector<District> districts, std::vector<Postcode> postcodes,
+          double width_km, double height_km);
+
+  std::span<const District> districts() const noexcept { return districts_; }
+  std::span<const Postcode> postcodes() const noexcept { return postcodes_; }
+
+  const District& district(DistrictId id) const { return districts_.at(id); }
+  const Postcode& postcode(PostcodeId id) const { return postcodes_.at(id); }
+  const District& district_of(const Postcode& pc) const { return districts_.at(pc.district); }
+
+  double width_km() const noexcept { return width_km_; }
+  double height_km() const noexcept { return height_km_; }
+
+  std::uint64_t total_population() const noexcept { return total_population_; }
+  double total_area_km2() const noexcept { return total_area_km2_; }
+
+  /// Fraction of territory covered by urban postcodes (paper: 49.6%).
+  double urban_territory_share() const noexcept { return urban_area_km2_ / total_area_km2_; }
+  /// Fraction of residents living in urban postcodes.
+  double urban_population_share() const noexcept;
+
+  /// The district with the largest population density (the capital centre).
+  DistrictId densest_district() const noexcept { return densest_district_; }
+
+ private:
+  std::vector<District> districts_;
+  std::vector<Postcode> postcodes_;
+  double width_km_;
+  double height_km_;
+  std::uint64_t total_population_ = 0;
+  double total_area_km2_ = 0.0;
+  double urban_area_km2_ = 0.0;
+  std::uint64_t urban_population_ = 0;
+  DistrictId densest_district_ = 0;
+};
+
+}  // namespace tl::geo

@@ -1,0 +1,66 @@
+#pragma once
+
+// Districts and postcodes: the geographic units of the census office.
+//
+// The paper aggregates at two granularities — 300+ districts (Figs. 5, 6, 9,
+// 11) and postcode-level urban/rural classes (>10k residents = urban, §3.2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/region.hpp"
+#include "util/geo_point.hpp"
+
+namespace tl::geo {
+
+using DistrictId = std::uint32_t;
+using PostcodeId = std::uint32_t;
+
+enum class AreaType : std::uint8_t {
+  kRural = 0,
+  kUrban = 1,
+};
+
+constexpr std::string_view to_string(AreaType a) noexcept {
+  return a == AreaType::kUrban ? "Urban" : "Rural";
+}
+
+/// Census threshold: postcodes with more than 10k residents are urban.
+inline constexpr std::uint32_t kUrbanResidentThreshold = 10'000;
+
+struct Postcode {
+  PostcodeId id = 0;
+  DistrictId district = 0;
+  std::uint32_t residents = 0;
+  double area_km2 = 0.0;
+  tl::util::GeoPoint centroid;
+  /// ~3.1% of postcodes lack reliable census information (§5.1 footnote);
+  /// geo-temporal analyses drop them and the HOF models treat their area
+  /// class as unknown.
+  bool census_reliable = true;
+
+  AreaType area_type() const noexcept {
+    return residents > kUrbanResidentThreshold ? AreaType::kUrban : AreaType::kRural;
+  }
+
+  double population_density() const noexcept {
+    return area_km2 > 0.0 ? static_cast<double>(residents) / area_km2 : 0.0;
+  }
+};
+
+struct District {
+  DistrictId id = 0;
+  std::string name;
+  Region region = Region::kNorth;
+  std::uint64_t population = 0;
+  double area_km2 = 0.0;
+  tl::util::GeoPoint centroid;
+  std::vector<PostcodeId> postcodes;
+
+  double population_density() const noexcept {
+    return area_km2 > 0.0 ? static_cast<double>(population) / area_km2 : 0.0;
+  }
+};
+
+}  // namespace tl::geo

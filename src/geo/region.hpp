@@ -1,0 +1,32 @@
+#pragma once
+
+// The four sector regions used as a regression covariate (Table 3):
+// West, South, North, and the Capital area.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tl::geo {
+
+enum class Region : std::uint8_t {
+  kCapital = 0,
+  kNorth,
+  kSouth,
+  kWest,
+};
+
+inline constexpr std::array<Region, 4> kAllRegions{Region::kCapital, Region::kNorth,
+                                                   Region::kSouth, Region::kWest};
+
+constexpr std::string_view to_string(Region r) noexcept {
+  switch (r) {
+    case Region::kCapital: return "Capital area";
+    case Region::kNorth: return "North";
+    case Region::kSouth: return "South";
+    case Region::kWest: return "West";
+  }
+  return "?";
+}
+
+}  // namespace tl::geo

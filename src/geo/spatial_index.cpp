@@ -1,0 +1,112 @@
+#include "geo/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tl::geo {
+
+using tl::util::GeoPoint;
+
+SpatialIndex::SpatialIndex(double width_km, double height_km, double cell_km)
+    : width_km_(width_km), height_km_(height_km), cell_km_(cell_km) {
+  if (width_km <= 0 || height_km <= 0 || cell_km <= 0) {
+    throw std::invalid_argument{"SpatialIndex: non-positive dimension"};
+  }
+  nx_ = std::max(1, static_cast<int>(std::ceil(width_km / cell_km)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(height_km / cell_km)));
+  cells_.resize(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_));
+}
+
+std::size_t SpatialIndex::cell_of(const GeoPoint& p) const noexcept {
+  int cx = static_cast<int>(p.x_km / cell_km_);
+  int cy = static_cast<int>(p.y_km / cell_km_);
+  cx = std::clamp(cx, 0, nx_ - 1);
+  cy = std::clamp(cy, 0, ny_ - 1);
+  return static_cast<std::size_t>(cy) * static_cast<std::size_t>(nx_) +
+         static_cast<std::size_t>(cx);
+}
+
+void SpatialIndex::insert(const GeoPoint& p, std::uint32_t item) {
+  cells_[cell_of(p)].push_back({p, item});
+  ++count_;
+}
+
+void SpatialIndex::cells_in_ring(int cx, int cy, int ring,
+                                 std::vector<std::size_t>& out) const {
+  const auto push = [&](int x, int y) {
+    if (x >= 0 && x < nx_ && y >= 0 && y < ny_) {
+      out.push_back(static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_) +
+                    static_cast<std::size_t>(x));
+    }
+  };
+  if (ring == 0) {
+    push(cx, cy);
+    return;
+  }
+  for (int x = cx - ring; x <= cx + ring; ++x) {
+    push(x, cy - ring);
+    push(x, cy + ring);
+  }
+  for (int y = cy - ring + 1; y <= cy + ring - 1; ++y) {
+    push(cx - ring, y);
+    push(cx + ring, y);
+  }
+}
+
+std::vector<std::uint32_t> SpatialIndex::query_radius(const GeoPoint& p,
+                                                      double radius_km) const {
+  std::vector<std::uint32_t> out;
+  const int cx = std::clamp(static_cast<int>(p.x_km / cell_km_), 0, nx_ - 1);
+  const int cy = std::clamp(static_cast<int>(p.y_km / cell_km_), 0, ny_ - 1);
+  const int max_ring = static_cast<int>(std::ceil(radius_km / cell_km_)) + 1;
+  const double r2 = radius_km * radius_km;
+  std::vector<std::size_t> ring_cells;
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    ring_cells.clear();
+    cells_in_ring(cx, cy, ring, ring_cells);
+    for (const std::size_t c : ring_cells) {
+      for (const Entry& e : cells_[c]) {
+        if (tl::util::squared_distance_km2(e.point, p) <= r2) out.push_back(e.item);
+      }
+    }
+  }
+  return out;
+}
+
+std::uint32_t SpatialIndex::nearest(const GeoPoint& p) const {
+  const auto result = nearest_k(p, 1);
+  return result.empty() ? kNotFound : result.front();
+}
+
+std::vector<std::uint32_t> SpatialIndex::nearest_k(const GeoPoint& p, std::size_t k) const {
+  std::vector<std::pair<double, std::uint32_t>> found;  // (squared distance, item)
+  if (count_ == 0 || k == 0) return {};
+  const int cx = std::clamp(static_cast<int>(p.x_km / cell_km_), 0, nx_ - 1);
+  const int cy = std::clamp(static_cast<int>(p.y_km / cell_km_), 0, ny_ - 1);
+  const int max_ring = std::max(nx_, ny_);
+  std::vector<std::size_t> ring_cells;
+  int settled_ring = -1;
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    ring_cells.clear();
+    cells_in_ring(cx, cy, ring, ring_cells);
+    for (const std::size_t c : ring_cells) {
+      for (const Entry& e : cells_[c]) {
+        found.emplace_back(tl::util::squared_distance_km2(e.point, p), e.item);
+      }
+    }
+    if (found.size() >= k && settled_ring < 0) {
+      // Entries one ring further out may still be closer than the farthest
+      // candidate (grid cells are square); search exactly one more ring.
+      settled_ring = ring + 1;
+    }
+    if (settled_ring >= 0 && ring >= settled_ring) break;
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::uint32_t> out;
+  out.reserve(std::min(k, found.size()));
+  for (std::size_t i = 0; i < found.size() && i < k; ++i) out.push_back(found[i].second);
+  return out;
+}
+
+}  // namespace tl::geo

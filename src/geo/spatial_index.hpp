@@ -1,0 +1,56 @@
+#pragma once
+
+// Uniform-grid spatial index over the country plane.
+//
+// The trace generator issues millions of "which sites are near this UE"
+// queries; a fixed grid with ~cell-sized buckets answers them in O(1)
+// expected time without any balancing machinery.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/geo_point.hpp"
+
+namespace tl::geo {
+
+class SpatialIndex {
+ public:
+  /// Grid covering [0,width] x [0,height] with roughly `cell_km` cells.
+  SpatialIndex(double width_km, double height_km, double cell_km);
+
+  void insert(const tl::util::GeoPoint& p, std::uint32_t item);
+
+  /// All items within `radius_km` of `p` (exact post-filter).
+  std::vector<std::uint32_t> query_radius(const tl::util::GeoPoint& p,
+                                          double radius_km) const;
+
+  /// The nearest item to `p`, expanding the search ring until found.
+  /// Returns kNotFound when the index is empty.
+  std::uint32_t nearest(const tl::util::GeoPoint& p) const;
+
+  /// Up to `k` nearest items, ordered by distance.
+  std::vector<std::uint32_t> nearest_k(const tl::util::GeoPoint& p, std::size_t k) const;
+
+  std::size_t size() const noexcept { return count_; }
+
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+ private:
+  struct Entry {
+    tl::util::GeoPoint point;
+    std::uint32_t item;
+  };
+
+  std::size_t cell_of(const tl::util::GeoPoint& p) const noexcept;
+  void cells_in_ring(int cx, int cy, int ring, std::vector<std::size_t>& out) const;
+
+  double width_km_;
+  double height_km_;
+  double cell_km_;
+  int nx_;
+  int ny_;
+  std::vector<std::vector<Entry>> cells_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tl::geo

@@ -1,0 +1,132 @@
+#include "mobility/activity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tl::mobility {
+
+using util::kBinsPerDay30Min;
+
+DayShape day_shape(int day) noexcept {
+  switch (util::SimCalendar::day_of_week_for_day(day)) {
+    case util::DayOfWeek::kSaturday: return DayShape::kSaturday;
+    case util::DayOfWeek::kSunday: return DayShape::kSunday;
+    default: return DayShape::kWeekday;
+  }
+}
+
+namespace {
+
+std::array<double, kBinsPerDay30Min> weekday_curve() {
+  std::array<double, kBinsPerDay30Min> w{};
+  // Night trough [00:00, 06:00): minimum at 02:00-03:30 (bins 4-7).
+  for (int b = 0; b < 12; ++b) {
+    if (b < 4) {
+      w[b] = 0.30 - 0.045 * b;  // 0.30 -> 0.165
+    } else if (b <= 7) {
+      w[b] = 0.12;
+    } else {
+      w[b] = 0.12 + 0.02 * (b - 7);  // drift up to 0.20
+    }
+  }
+  // Sharp x3 commute ramp [06:00, 08:00): 0.33 -> 1.0 peak at bin 16.
+  for (int b = 12; b < 16; ++b) w[b] = 0.33 + (1.00 - 0.33) * (b - 12) / 4.0;
+  w[16] = 1.00;  // peak 08:00-08:30
+  // Working hours: mild midday plateau, second peak at 15:00-15:30 (bin 30).
+  for (int b = 17; b < 30; ++b) {
+    w[b] = 0.86 + 0.04 * std::cos((b - 23) * 0.35);
+  }
+  w[30] = 0.98;  // afternoon peak
+  // Gradual decline: ~11% per 30 minutes from the afternoon peak.
+  for (int b = 31; b < kBinsPerDay30Min; ++b) w[b] = w[b - 1] * 0.89;
+  return w;
+}
+
+std::array<double, kBinsPerDay30Min> weekend_curve(double peak) {
+  std::array<double, kBinsPerDay30Min> w{};
+  // Minimum 03:00-05:00 (bins 6-10), single midday peak 12:00-13:00.
+  for (int b = 0; b < kBinsPerDay30Min; ++b) {
+    const double hour = b / 2.0;
+    double v;
+    if (hour < 5.0) {
+      v = 0.22 - 0.024 * hour;  // slide into the late-night minimum
+      if (hour >= 3.0) v = 0.10;
+    } else if (hour < 12.5) {
+      v = 0.10 + (peak - 0.10) * (hour - 5.0) / 7.5;  // slow morning rise
+    } else if (hour < 13.0) {
+      v = peak;
+    } else {
+      v = peak * std::exp(-(hour - 13.0) * 0.16);  // long afternoon decay
+      v = std::max(v, 0.12);
+    }
+    w[b] = v;
+  }
+  return w;
+}
+
+std::array<double, kBinsPerDay30Min> flatten(
+    const std::array<double, kBinsPerDay30Min>& w, double keep) {
+  double mean = 0.0;
+  for (const double v : w) mean += v;
+  mean /= w.size();
+  std::array<double, kBinsPerDay30Min> out{};
+  for (std::size_t i = 0; i < w.size(); ++i) out[i] = keep * w[i] + (1.0 - keep) * mean;
+  return out;
+}
+
+}  // namespace
+
+ActivityModel::ActivityModel() {
+  const auto weekday = weekday_curve();
+  const auto saturday = weekend_curve(0.78);
+  const auto sunday = weekend_curve(0.67);  // ~33% below the weekday peak
+
+  const std::array<std::array<double, kBinsPerDay30Min>, 3> base{weekday, saturday,
+                                                                 sunday};
+  for (std::size_t shape = 0; shape < 3; ++shape) {
+    // Rural curves are the same shape, slightly flattened: commute spikes are
+    // less pronounced where deployments (and workplaces) are sparse.
+    curves_[shape][static_cast<std::size_t>(geo::AreaType::kUrban)] = base[shape];
+    curves_[shape][static_cast<std::size_t>(geo::AreaType::kRural)] =
+        flatten(base[shape], 0.88);
+    for (std::size_t area = 0; area < 2; ++area) {
+      double total = 0.0;
+      for (int b = 0; b < kBinsPerDay30Min; ++b) {
+        total += curves_[shape][area][b];
+        cdf_[shape][area][b] = total;
+      }
+      totals_[shape][area] = total;
+      for (int b = 0; b < kBinsPerDay30Min; ++b) cdf_[shape][area][b] /= total;
+    }
+  }
+}
+
+double ActivityModel::weight(int day, int half_hour_bin, geo::AreaType area) const noexcept {
+  if (half_hour_bin < 0 || half_hour_bin >= kBinsPerDay30Min) return 0.0;
+  return curves_[static_cast<std::size_t>(day_shape(day))]
+                [static_cast<std::size_t>(area)][half_hour_bin];
+}
+
+double ActivityModel::day_total(int day, geo::AreaType area) const noexcept {
+  return totals_[static_cast<std::size_t>(day_shape(day))][static_cast<std::size_t>(area)];
+}
+
+util::TimestampMs ActivityModel::sample_event_time(int day, geo::AreaType area,
+                                                   util::Rng& rng) const {
+  const auto& cdf =
+      cdf_[static_cast<std::size_t>(day_shape(day))][static_cast<std::size_t>(area)];
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const int bin = static_cast<int>(it - cdf.begin());
+  const std::int64_t bin_start = static_cast<std::int64_t>(bin) * 30 * util::kMsPerMinute;
+  return static_cast<util::TimestampMs>(day) * util::kMsPerDay + bin_start +
+         static_cast<std::int64_t>(rng.uniform() * 30.0 * util::kMsPerMinute);
+}
+
+const std::array<double, kBinsPerDay30Min>& ActivityModel::curve(
+    DayShape shape, geo::AreaType area) const {
+  return curves_[static_cast<std::size_t>(shape)][static_cast<std::size_t>(area)];
+}
+
+}  // namespace tl::mobility

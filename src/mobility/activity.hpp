@@ -1,0 +1,53 @@
+#pragma once
+
+// Diurnal/weekly activity model (the temporal engine behind Fig. 7/Fig. 12).
+//
+// Encodes the paper's observed shapes: on weekdays a sharp x3 ramp from
+// 06:00 to the 08:00-08:30 peak, a second peak at 15:00-15:30, then an ~11%
+// decline per 30 minutes into the 02:00-03:30 minimum; on weekends a single
+// midday peak (12:00-13:00) with Sunday ~33% below Friday, and a
+// 03:00-05:00 minimum.
+
+#include <array>
+
+#include "geo/district.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace tl::mobility {
+
+enum class DayShape : std::uint8_t {
+  kWeekday = 0,
+  kSaturday,
+  kSunday,
+};
+
+DayShape day_shape(int day) noexcept;
+
+class ActivityModel {
+ public:
+  ActivityModel();
+
+  /// Relative HO intensity for a half-hour bin (peak weekday urban == 1.0).
+  double weight(int day, int half_hour_bin, geo::AreaType area) const noexcept;
+
+  /// Sum of bin weights over the day — scales per-day HO counts so weekends
+  /// produce fewer events.
+  double day_total(int day, geo::AreaType area) const noexcept;
+
+  /// Draws an event timestamp within `day`, distributed per the day's curve.
+  util::TimestampMs sample_event_time(int day, geo::AreaType area,
+                                      util::Rng& rng) const;
+
+  /// Raw curve access for tests/benches.
+  const std::array<double, util::kBinsPerDay30Min>& curve(DayShape shape,
+                                                          geo::AreaType area) const;
+
+ private:
+  // [shape][area][bin]
+  std::array<std::array<std::array<double, util::kBinsPerDay30Min>, 2>, 3> curves_;
+  std::array<std::array<std::array<double, util::kBinsPerDay30Min>, 2>, 3> cdf_;
+  std::array<std::array<double, 2>, 3> totals_;
+};
+
+}  // namespace tl::mobility

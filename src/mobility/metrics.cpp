@@ -1,0 +1,61 @@
+#include "mobility/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tl::mobility {
+
+double radius_of_gyration(std::span<const util::GeoPoint> locations,
+                          std::span<const double> dwell_times) {
+  if (locations.size() != dwell_times.size()) {
+    throw std::invalid_argument{"radius_of_gyration: length mismatch"};
+  }
+  if (locations.empty()) return 0.0;
+  double total = 0.0;
+  for (const double t : dwell_times) {
+    if (t < 0.0) throw std::invalid_argument{"radius_of_gyration: negative dwell"};
+    total += t;
+  }
+  if (total <= 0.0) return 0.0;
+
+  util::GeoPoint cm{0.0, 0.0};
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    const double w = dwell_times[i] / total;
+    cm.x_km += w * locations[i].x_km;
+    cm.y_km += w * locations[i].y_km;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    const double w = dwell_times[i] / total;
+    sum += w * util::squared_distance_km2(locations[i], cm);
+  }
+  return std::sqrt(sum);
+}
+
+void MobilityMetricsBuilder::add_visit(std::uint32_t sector_id,
+                                       const util::GeoPoint& site_location,
+                                       double dwell_ms) {
+  sector_ids_.push_back(sector_id);
+  locations_.push_back(site_location);
+  dwells_.push_back(dwell_ms);
+}
+
+std::uint32_t MobilityMetricsBuilder::distinct_sectors() const {
+  std::vector<std::uint32_t> ids = sector_ids_;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return static_cast<std::uint32_t>(ids.size());
+}
+
+double MobilityMetricsBuilder::radius_of_gyration_km() const {
+  return radius_of_gyration(locations_, dwells_);
+}
+
+void MobilityMetricsBuilder::clear() {
+  sector_ids_.clear();
+  locations_.clear();
+  dwells_.clear();
+}
+
+}  // namespace tl::mobility

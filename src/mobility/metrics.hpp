@@ -1,0 +1,40 @@
+#pragma once
+
+// Mobility metrics (§3.3): number of distinct sectors visited per day and
+// the time-weighted radius of gyration over visited cell sites.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/geo_point.hpp"
+
+namespace tl::mobility {
+
+/// Time-weighted radius of gyration (km).
+///
+/// The paper's Eq. in §3.3 weights each visited site by the time spent
+/// there; we implement the standard normalized form: with w_j = t_j / sum(t),
+/// l_cm = sum(w_j l_j) and g = sqrt(sum(w_j |l_j - l_cm|^2)).
+double radius_of_gyration(std::span<const util::GeoPoint> locations,
+                          std::span<const double> dwell_times);
+
+/// Accumulates one UE-day of sector visits and reduces to the two metrics.
+class MobilityMetricsBuilder {
+ public:
+  void add_visit(std::uint32_t sector_id, const util::GeoPoint& site_location,
+                 double dwell_ms);
+
+  std::uint32_t distinct_sectors() const;
+  double radius_of_gyration_km() const;
+
+  bool empty() const noexcept { return sector_ids_.empty(); }
+  void clear();
+
+ private:
+  std::vector<std::uint32_t> sector_ids_;
+  std::vector<util::GeoPoint> locations_;
+  std::vector<double> dwells_;
+};
+
+}  // namespace tl::mobility

@@ -1,0 +1,17 @@
+#include "mobility/mobility_class.hpp"
+
+namespace tl::mobility {
+
+MobilityClass sample_mobility_class(devices::DeviceType type,
+                                    topology::RatSupport support, util::Rng& rng) {
+  const bool modern = support >= topology::RatSupport::kUpTo4G;
+  const auto mix = mobility_mix(type, modern);
+  double u = rng.uniform();
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    u -= mix[i];
+    if (u <= 0.0) return static_cast<MobilityClass>(i);
+  }
+  return MobilityClass::kHighSpeed;
+}
+
+}  // namespace tl::mobility

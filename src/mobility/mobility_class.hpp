@@ -1,0 +1,79 @@
+#pragma once
+
+// Mobility classes and their mix per device type.
+//
+// Calibrated to §5.3: smartphones are the mobile class (median 22 visited
+// sectors/day, 2.7 km gyration), M2M/IoT devices are mostly static (median
+// 1 sector, 0 km) with a fast-moving tail (p95 gyration 20.1 km — modems on
+// trains, in-car units, wearables), feature phones sit in between (median 3
+// sectors, 0.9 km).
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "devices/device_type.hpp"
+#include "topology/rat.hpp"
+#include "util/rng.hpp"
+
+namespace tl::mobility {
+
+enum class MobilityClass : std::uint8_t {
+  kStationary = 0,  // never leaves its cell cluster (smart meters, CPE)
+  kLocal,           // moves within the home area
+  kCommuter,        // daily home-work-home pattern
+  kLongRange,       // frequent cross-district travel
+  kHighSpeed,       // mounted on trains/vehicles; hundreds of km daily
+};
+
+inline constexpr std::array<MobilityClass, 5> kAllMobilityClasses{
+    MobilityClass::kStationary, MobilityClass::kLocal, MobilityClass::kCommuter,
+    MobilityClass::kLongRange, MobilityClass::kHighSpeed};
+
+constexpr std::string_view to_string(MobilityClass c) noexcept {
+  switch (c) {
+    case MobilityClass::kStationary: return "stationary";
+    case MobilityClass::kLocal: return "local";
+    case MobilityClass::kCommuter: return "commuter";
+    case MobilityClass::kLongRange: return "long-range";
+    case MobilityClass::kHighSpeed: return "high-speed";
+  }
+  return "?";
+}
+
+/// Class mix per device type {stationary, local, commuter, long-range,
+/// high-speed}. For M2M/IoT the mix is conditioned on device capability:
+/// 4G/5G-capable modules are disproportionately the mobile ones (routers and
+/// modems on trains, in-car units, wearables — §5.3), while the 2G/3G fleet
+/// is dominated by static smart meters.
+constexpr std::array<double, 5> mobility_mix(devices::DeviceType type,
+                                             bool modern_rat) noexcept {
+  switch (type) {
+    case devices::DeviceType::kSmartphone: return {0.08, 0.22, 0.62, 0.073, 0.007};
+    case devices::DeviceType::kM2mIot:
+      return modern_rat ? std::array<double, 5>{0.45, 0.45, 0.02, 0.06, 0.02}
+                        : std::array<double, 5>{0.70, 0.27, 0.005, 0.015, 0.01};
+    case devices::DeviceType::kFeaturePhone: return {0.25, 0.55, 0.18, 0.018, 0.002};
+  }
+  return {1.0, 0.0, 0.0, 0.0, 0.0};
+}
+
+/// Mean handovers per day for the class (before per-device and per-day
+/// modulation). Together with the type mix this lands near the paper's
+/// aggregate of ~42 HOs/UE/day and its 94/6 smartphone/other split.
+constexpr double base_daily_handovers(MobilityClass c) noexcept {
+  switch (c) {
+    case MobilityClass::kStationary: return 0.6;
+    case MobilityClass::kLocal: return 9.0;
+    case MobilityClass::kCommuter: return 72.0;
+    case MobilityClass::kLongRange: return 130.0;
+    case MobilityClass::kHighSpeed: return 420.0;
+  }
+  return 1.0;
+}
+
+/// Samples a mobility class for a device of the given type and capability.
+MobilityClass sample_mobility_class(devices::DeviceType type,
+                                    topology::RatSupport support, util::Rng& rng);
+
+}  // namespace tl::mobility

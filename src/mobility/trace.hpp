@@ -1,0 +1,36 @@
+#pragma once
+
+// Movement traces: the per-UE, per-day sequence of positions at which a
+// handover opportunity occurs. The simulator maps positions to serving
+// sectors; this module is pure geometry + scheduling.
+
+#include <vector>
+
+#include "mobility/mobility_class.hpp"
+#include "util/geo_point.hpp"
+#include "util/sim_time.hpp"
+
+namespace tl::mobility {
+
+struct MovementEvent {
+  util::TimestampMs time = 0;
+  util::GeoPoint position;
+};
+
+/// Stable per-UE anchors: where the device lives, works, and travels.
+struct UePlan {
+  MobilityClass mobility_class = MobilityClass::kStationary;
+  util::GeoPoint home;
+  util::GeoPoint work;       // == home for non-commuters
+  util::GeoPoint far_point;  // long-range/high-speed destination
+  /// Stable personal schedule offsets (hours).
+  double depart_home_h = 7.5;
+  double depart_work_h = 17.0;
+  double commute_minutes = 35.0;
+  /// Mean daily HOs after per-device modulation.
+  double daily_ho_mean = 10.0;
+};
+
+using DailyTrace = std::vector<MovementEvent>;
+
+}  // namespace tl::mobility

@@ -1,0 +1,176 @@
+#include "mobility/trace_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tl::mobility {
+
+using util::GeoPoint;
+using util::Rng;
+using util::TimestampMs;
+
+TraceGenerator::TraceGenerator(const geo::Country& country, const ActivityModel& activity,
+                               std::uint64_t seed)
+    : country_(country), activity_(activity), seed_(seed) {}
+
+GeoPoint TraceGenerator::clamp_to_country(GeoPoint p) const noexcept {
+  p.x_km = std::clamp(p.x_km, 0.0, country_.width_km());
+  p.y_km = std::clamp(p.y_km, 0.0, country_.height_km());
+  return p;
+}
+
+UePlan TraceGenerator::plan_for(const devices::Ue& ue) const {
+  Rng rng = Rng::derive(seed_, 0x91a4u, ue.id);
+  UePlan plan;
+  plan.mobility_class = sample_mobility_class(ue.type, ue.rat_support, rng);
+
+  const auto& pc = country_.postcode(ue.home_postcode);
+  const double scatter = std::sqrt(std::max(pc.area_km2, 0.05)) / 2.5;
+  plan.home = clamp_to_country(
+      {pc.centroid.x_km + rng.normal(0.0, scatter), pc.centroid.y_km + rng.normal(0.0, scatter)});
+
+  // Work anchor: lognormal commute distance, median ~4 km (yields the
+  // smartphone median gyration of ~2.7 km once local scatter mixes in).
+  const double angle = rng.uniform(0.0, 2.0 * M_PI);
+  double work_dist = 0.0;
+  switch (plan.mobility_class) {
+    case MobilityClass::kCommuter:
+      work_dist = std::exp(std::log(4.0) + 0.75 * rng.normal());
+      break;
+    case MobilityClass::kLongRange:
+      work_dist = rng.uniform(25.0, 120.0);
+      break;
+    case MobilityClass::kHighSpeed:
+      work_dist = rng.uniform(110.0, 520.0);
+      break;
+    default:
+      work_dist = 0.0;
+  }
+  plan.work = clamp_to_country({plan.home.x_km + work_dist * std::cos(angle),
+                                plan.home.y_km + work_dist * std::sin(angle)});
+  const double far_angle = rng.uniform(0.0, 2.0 * M_PI);
+  const double far_dist = rng.uniform(30.0, 160.0);
+  plan.far_point = clamp_to_country({plan.home.x_km + far_dist * std::cos(far_angle),
+                                     plan.home.y_km + far_dist * std::sin(far_angle)});
+
+  plan.depart_home_h = std::clamp(7.4 + rng.normal(0.0, 0.55), 5.5, 9.5);
+  plan.depart_work_h = std::clamp(16.9 + rng.normal(0.0, 0.75), 14.5, 19.5);
+  const double commute_km = tl::util::distance_km(plan.home, plan.work);
+  const double speed_kmh = plan.mobility_class == MobilityClass::kHighSpeed ? 150.0 : 32.0;
+  plan.commute_minutes = std::clamp(8.0 + commute_km / speed_kmh * 60.0, 8.0, 240.0);
+
+  plan.daily_ho_mean =
+      base_daily_handovers(plan.mobility_class) * static_cast<double>(ue.ho_rate_multiplier);
+  return plan;
+}
+
+GeoPoint TraceGenerator::position_at(const UePlan& plan, TimestampMs time, bool weekend,
+                                     Rng& rng) const {
+  const double h = util::SimCalendar::fractional_hour(time);
+  const double commute_h = plan.commute_minutes / 60.0;
+
+  const auto jittered = [&](GeoPoint base, double sigma_km) {
+    return clamp_to_country(
+        {base.x_km + rng.normal(0.0, sigma_km), base.y_km + rng.normal(0.0, sigma_km)});
+  };
+  const auto along = [&](GeoPoint from, GeoPoint to, double f) {
+    const GeoPoint p = from + (to - from) * std::clamp(f, 0.0, 1.0);
+    return jittered(p, 0.35);
+  };
+
+  switch (plan.mobility_class) {
+    case MobilityClass::kStationary:
+      return jittered(plan.home, 0.05);
+
+    case MobilityClass::kLocal: {
+      // Random points in a disc around home; radius grows midday.
+      const double radius = 0.5 + 1.1 * std::exp(-std::pow(h - 13.0, 2) / 40.0);
+      const double a = rng.uniform(0.0, 2.0 * M_PI);
+      const double r = radius * std::sqrt(rng.uniform());
+      return clamp_to_country(
+          {plan.home.x_km + r * std::cos(a), plan.home.y_km + r * std::sin(a)});
+    }
+
+    case MobilityClass::kCommuter: {
+      if (weekend) {
+        // Weekend outing around midday toward a nearby leisure anchor.
+        if (h >= 11.0 && h < 15.0) return along(plan.home, plan.work, 0.5 + 0.1 * rng.normal());
+        return jittered(plan.home, 0.5);
+      }
+      const double out_start = plan.depart_home_h;
+      const double out_end = out_start + commute_h;
+      const double back_start = plan.depart_work_h;
+      const double back_end = back_start + commute_h;
+      if (h < out_start || h >= back_end) return jittered(plan.home, 0.4);
+      if (h < out_end) return along(plan.home, plan.work, (h - out_start) / commute_h);
+      if (h < back_start) return jittered(plan.work, 0.5);
+      return along(plan.work, plan.home, (h - back_start) / commute_h);
+    }
+
+    case MobilityClass::kLongRange: {
+      // Morning leg to the far point, afternoon leg back; roams there midday.
+      const double leg_h = std::max(commute_h, 0.6);
+      if (h < 8.0) return jittered(plan.home, 0.5);
+      if (h < 8.0 + leg_h) return along(plan.home, plan.far_point, (h - 8.0) / leg_h);
+      if (h < 16.0) return jittered(plan.far_point, 1.2);
+      if (h < 16.0 + leg_h) return along(plan.far_point, plan.home, (h - 16.0) / leg_h);
+      return jittered(plan.home, 0.5);
+    }
+
+    case MobilityClass::kHighSpeed: {
+      // Continuous shuttling along the route during service hours.
+      if (h < 5.0 || h >= 23.0) return jittered(plan.home, 0.3);
+      const double route_km = tl::util::distance_km(plan.home, plan.work);
+      const double lap_h = std::max(2.0 * route_km / 150.0, 0.5);
+      const double phase = std::fmod(h - 5.0, lap_h) / lap_h;  // 0..1 over a round trip
+      const double f = phase < 0.5 ? phase * 2.0 : 2.0 - phase * 2.0;
+      return along(plan.home, plan.work, f);
+    }
+  }
+  return plan.home;
+}
+
+DailyTrace TraceGenerator::generate(const devices::Ue& ue, const UePlan& plan,
+                                    int day) const {
+  Rng rng = Rng::derive(seed_, 0xdab1u, ue.id, static_cast<std::uint64_t>(day));
+  const auto& pc = country_.postcode(ue.home_postcode);
+  const geo::AreaType area = pc.area_type();
+
+  // Scale the class's weekday mean by the day's total activity, so weekends
+  // carry fewer events (Fig. 7's Friday-vs-Sunday gap).
+  const double weekday_total = activity_.day_total(0, area);  // day 0 is a Monday
+  const double mean = plan.daily_ho_mean * activity_.day_total(day, area) / weekday_total;
+
+  // Poisson draw via thinning of the exponential inter-arrival sum;
+  // for large means use a normal approximation.
+  std::size_t n;
+  if (mean <= 0.0) {
+    n = 0;
+  } else if (mean < 50.0) {
+    const double limit = std::exp(-mean);
+    double prod = rng.uniform();
+    n = 0;
+    while (prod > limit) {
+      prod *= rng.uniform();
+      ++n;
+    }
+  } else {
+    n = static_cast<std::size_t>(
+        std::max(0.0, std::round(mean + std::sqrt(mean) * rng.normal())));
+  }
+
+  const bool weekend = util::SimCalendar::is_weekend_day(day);
+  DailyTrace trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MovementEvent ev;
+    ev.time = activity_.sample_event_time(day, area, rng);
+    ev.position = position_at(plan, ev.time, weekend, rng);
+    trace.push_back(ev);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const MovementEvent& a, const MovementEvent& b) { return a.time < b.time; });
+  return trace;
+}
+
+}  // namespace tl::mobility

@@ -1,0 +1,41 @@
+#pragma once
+
+// Generates movement traces for UEs, one day at a time.
+//
+// Deterministic: the per-UE plan derives from (seed, ue id) and the per-day
+// trace from (seed, ue id, day), so any UE-day can be regenerated in
+// isolation — the property that makes the simulator parallelizable and the
+// telemetry reproducible.
+
+#include "devices/population.hpp"
+#include "geo/country.hpp"
+#include "mobility/activity.hpp"
+#include "mobility/trace.hpp"
+
+namespace tl::mobility {
+
+class TraceGenerator {
+ public:
+  TraceGenerator(const geo::Country& country, const ActivityModel& activity,
+                 std::uint64_t seed);
+
+  /// The UE's stable anchors and schedule.
+  UePlan plan_for(const devices::Ue& ue) const;
+
+  /// Handover-opportunity events for one UE-day, sorted by time.
+  DailyTrace generate(const devices::Ue& ue, const UePlan& plan, int day) const;
+
+  /// Position of the UE at `time` under `plan` (pure function of the plan
+  /// plus small per-event jitter drawn from `rng`).
+  util::GeoPoint position_at(const UePlan& plan, util::TimestampMs time, bool weekend,
+                             util::Rng& rng) const;
+
+ private:
+  util::GeoPoint clamp_to_country(util::GeoPoint p) const noexcept;
+
+  const geo::Country& country_;
+  const ActivityModel& activity_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tl::mobility

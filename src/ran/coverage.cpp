@@ -1,0 +1,155 @@
+#include "ran/coverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ran/propagation.hpp"
+
+namespace tl::ran {
+
+double CoverageMap::device_fallback_multiplier(devices::DeviceType type) noexcept {
+  switch (type) {
+    case devices::DeviceType::kSmartphone: return 1.0;
+    case devices::DeviceType::kM2mIot: return 0.056;
+    case devices::DeviceType::kFeaturePhone: return 0.10;
+  }
+  return 1.0;
+}
+
+void CoverageMap::recalibrate(std::span<const double> total_volume,
+                              std::span<const double> volume_with_3g_target,
+                              double target_smartphone_p) {
+  if (total_volume.size() != profiles_.size() ||
+      volume_with_3g_target.size() != profiles_.size()) {
+    throw std::invalid_argument{"CoverageMap::recalibrate: volume length mismatch"};
+  }
+  double weight = 0.0;
+  for (const double v : total_volume) weight += v;
+  if (weight <= 0.0) return;
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    // Realized national share: a drawn fallback only executes where a 3G
+    // target is locatable, so only that portion of the volume counts.
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+      weighted += volume_with_3g_target[i] * profiles_[i].p_fallback_3g;
+    }
+    const double current = weighted / weight;
+    if (current <= 0.0) return;
+    const double scale = target_smartphone_p / current;
+    if (std::fabs(scale - 1.0) < 0.01) break;
+    for (auto& p : profiles_) {
+      if (!p.pinned_3g) {
+        p.p_fallback_3g = std::clamp(p.p_fallback_3g * scale, 0.0005, 0.85);
+      }
+      // Keep the national 2G residual proportional, except where a legacy
+      // district override pinned it higher.
+      if (p.p_fallback_2g < 0.0015) p.p_fallback_2g = p.p_fallback_3g * 2e-5;
+    }
+  }
+}
+
+CoverageMap CoverageMap::build(const geo::Country& country,
+                               const topology::Deployment& deployment,
+                               const CoverageConfig& config) {
+  CoverageMap map;
+  const auto postcodes = country.postcodes();
+  map.profiles_.resize(postcodes.size());
+
+  // --- Raw profiles from the deployment. ------------------------------------
+  // A postcode is served by every site within radio range of it, not only
+  // by sites planted inside its boundary (most postcodes host no site at
+  // all): collect sectors over a serving disc around the centroid, sized by
+  // the postcode's own extent.
+  for (const auto& pc : postcodes) {
+    CoverageProfile& p = map.profiles_[pc.id];
+    const double radius_km =
+        std::clamp(1.5 * std::sqrt(pc.area_km2 / M_PI) + 2.0, 3.0, 15.0);
+    double count_4g5g = 0.0;
+    for (const topology::SiteId site_id :
+         deployment.site_index().query_radius(pc.centroid, radius_km)) {
+      for (const topology::SectorId sid : deployment.site(site_id).sectors) {
+        const auto& sector = deployment.sector(sid);
+        p.has_rat[static_cast<std::size_t>(sector.rat)] = true;
+        if (sector.rat == topology::Rat::kG4 || sector.rat == topology::Rat::kG5Nr) {
+          count_4g5g += 1.0;
+        }
+      }
+    }
+    p.density_4g5g = count_4g5g / (M_PI * radius_km * radius_km);
+    // Essentially 4G-free area: 4G-capable UEs passing through must ride
+    // the legacy layers for most handovers.
+    if (p.density_4g5g < 0.004 &&
+        p.has_rat[static_cast<std::size_t>(topology::Rat::kG3)]) {
+      p.pinned_3g = true;
+    }
+    // Typical serving distance scales with sector density; the median RSRP
+    // follows from the 4G propagation model at that distance.
+    const double typical_km =
+        p.density_4g5g > 0.0 ? 0.6 / std::sqrt(p.density_4g5g)
+                             : 2.0 * cell_radius_km(topology::Rat::kG4);
+    p.median_rsrp_4g_dbm =
+        median_rsrp_dbm(radio_params(topology::Rat::kG4), typical_km);
+    // Unnormalized fallback propensity: a gentle inverse-density gradient.
+    // The urban/rural contrast is deliberately mild (the paper's Fig. 12
+    // shows only +32.4% more rural HOFs per active sector at peak); the
+    // extreme Fig. 9b districts come from the pinned coverage holes, whose
+    // volume is tiny but whose fallback share is not.
+    p.p_fallback_3g =
+        p.pinned_3g ? 0.55 : 0.30 + 0.70 / (1.0 + 2.0 * p.density_4g5g);
+  }
+
+  // --- Calibrate the national 3G-fallback share. ----------------------------
+  // HO volume per postcode is proportional to residents; iterate scaling to
+  // absorb the clamp at both ends.
+  const double target_p =
+      config.target_share_3g / std::max(config.smartphone_volume_share, 0.5);
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    double weighted = 0.0;
+    double weight = 0.0;
+    for (const auto& pc : postcodes) {
+      const double w = static_cast<double>(pc.residents) + 1.0;
+      weighted += w * map.profiles_[pc.id].p_fallback_3g;
+      weight += w;
+    }
+    const double current = weighted / weight;
+    if (current <= 0.0) break;
+    const double scale = target_p / current;
+    if (std::fabs(scale - 1.0) < 0.005) break;
+    for (auto& p : map.profiles_) {
+      if (p.pinned_3g) continue;
+      p.p_fallback_3g = std::clamp(p.p_fallback_3g * scale, 0.0005, 0.70);
+    }
+  }
+
+  // --- 2G fallback: negligible everywhere except a handful of remote
+  // districts still anchored on 2G voice coverage. ---------------------------
+  for (auto& p : map.profiles_) p.p_fallback_2g = p.p_fallback_3g * 2e-5;
+
+  // Pick the least 4G-dense districts (with 2G coverage) as the anomalies.
+  std::vector<std::pair<double, geo::DistrictId>> district_density;
+  for (const auto& d : country.districts()) {
+    double density_sum = 0.0;
+    bool any_2g = false;
+    for (const geo::PostcodeId pcid : d.postcodes) {
+      density_sum += map.profiles_[pcid].density_4g5g;
+      any_2g = any_2g || map.profiles_[pcid].has_rat[0];
+    }
+    if (any_2g) {
+      district_density.emplace_back(density_sum / static_cast<double>(d.postcodes.size()),
+                                    d.id);
+    }
+  }
+  std::sort(district_density.begin(), district_density.end());
+  const int n_legacy =
+      std::min<int>(config.legacy_2g_districts, static_cast<int>(district_density.size()));
+  for (int i = 0; i < n_legacy; ++i) {
+    const auto& d = country.district(district_density[static_cast<std::size_t>(i)].second);
+    for (const geo::PostcodeId pcid : d.postcodes) {
+      map.profiles_[pcid].p_fallback_2g = 0.002;
+    }
+  }
+  return map;
+}
+
+}  // namespace tl::ran

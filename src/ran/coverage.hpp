@@ -1,0 +1,86 @@
+#pragma once
+
+// Per-postcode coverage profiles.
+//
+// The micro-level radio machinery (propagation + A2/A3) is exact but too
+// slow to evaluate per handover at country scale. This module distills the
+// deployment once into per-postcode profiles: RAT availability, 4G/5G
+// sector density, typical signal quality, and — the load-bearing quantity —
+// the probability that a 4G/5G-capable UE's handover falls back to 3G/2G
+// there. Fallback probabilities are calibrated so the national, volume-
+// weighted shares land on Table 2 (5.86% to 3G, ~0.001% to 2G), while
+// sparse rural districts reach the 26.5-58.1% extremes of Fig. 9b.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "devices/device_type.hpp"
+#include "geo/country.hpp"
+#include "topology/deployment.hpp"
+
+namespace tl::ran {
+
+struct CoverageProfile {
+  /// Live sector availability per ground-truth RAT.
+  std::array<bool, 4> has_rat{};
+  /// 4G+5G sectors per square km around the postcode.
+  double density_4g5g = 0.0;
+  /// Median RSRP (dBm) a UE sees from the 4G layer at typical distance.
+  double median_rsrp_4g_dbm = -140.0;
+  /// Per-handover probability that a 4G/5G-capable smartphone falls back.
+  double p_fallback_3g = 0.0;
+  double p_fallback_2g = 0.0;
+  /// Coverage hole: the area is essentially 4G-free, so the fallback
+  /// probability is pinned high and exempt from national recalibration —
+  /// these postcodes create Fig. 9b's 26.5-58.1% remote-district extremes.
+  bool pinned_3g = false;
+};
+
+struct CoverageConfig {
+  /// National target share of observed HOs that go 4G/5G -> 3G (Table 2).
+  double target_share_3g = 0.0586;
+  /// National target share of observed HOs that go 4G/5G -> 2G.
+  double target_share_2g = 1e-5;
+  /// Number of remote districts with anomalously high 2G fallback (Fig. 9c
+  /// reports ~0.5% in 4 specific districts).
+  int legacy_2g_districts = 4;
+  /// Smartphone share of observed HO volume — converts the national target
+  /// into the smartphone-level probability that the profiles store (M2M and
+  /// feature phones apply their own multipliers on top).
+  double smartphone_volume_share = 0.94;
+};
+
+class CoverageMap {
+ public:
+  static CoverageMap build(const geo::Country& country,
+                           const topology::Deployment& deployment,
+                           const CoverageConfig& config = {});
+
+  const CoverageProfile& at(geo::PostcodeId pc) const { return profiles_.at(pc); }
+  std::span<const CoverageProfile> profiles() const noexcept { return profiles_; }
+
+  /// Device-type multiplier on the fallback probability (Table 2: M2M and
+  /// feature phones on 4G almost never downgrade — their legacy siblings
+  /// simply never appear in the observed dataset).
+  static double device_fallback_multiplier(devices::DeviceType type) noexcept;
+
+  /// Second calibration pass with empirical per-postcode HO volume.
+  ///
+  /// The build-time pass weights postcodes by residents, but realized HO
+  /// volume concentrates along commute paths in dense (low-fallback) areas,
+  /// and a drawn fallback only executes where a 3G target sector actually
+  /// exists. The simulator probes a sample of traces, measures where events
+  /// land (`total_volume`) and where a 3G target was locatable
+  /// (`volume_with_3g_target`), and re-scales the fallback probabilities so
+  /// the nationally *realized* share hits `target_smartphone_p`.
+  void recalibrate(std::span<const double> total_volume,
+                   std::span<const double> volume_with_3g_target,
+                   double target_smartphone_p);
+
+ private:
+  std::vector<CoverageProfile> profiles_;
+};
+
+}  // namespace tl::ran

@@ -1,0 +1,40 @@
+#include "ran/load.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace tl::ran {
+
+double LoadModel::utilization(const topology::RadioSector& sector, int day,
+                              int half_hour_bin) const noexcept {
+  const double diurnal = activity_.weight(day, half_hour_bin, sector.area_type);
+  // Stable per-sector busy factor: urban sectors run hotter (dense areas
+  // saturate at peak, the mechanism behind Cause #4 claiming 42% of urban
+  // failures), rural ones rarely approach capacity.
+  const double u01 =
+      static_cast<double>(util::anonymize(sector.id, seed_ ^ 0x10adULL)) /
+      static_cast<double>(~0ULL);
+  const double busy = sector.area_type == geo::AreaType::kUrban ? 0.50 + 1.05 * u01
+                                                                : 0.40 + 0.55 * u01;
+  // Per-(sector, day, bin) jitter, deterministic.
+  const double jitter_u01 =
+      static_cast<double>(util::anonymize(
+          sector.id * 977ULL + static_cast<std::uint64_t>(day) * 53ULL +
+              static_cast<std::uint64_t>(half_hour_bin),
+          seed_)) /
+      static_cast<double>(~0ULL);
+  const double jitter = 0.9 + 0.2 * jitter_u01;
+  return diurnal * busy * jitter / static_cast<double>(sector.capacity);
+}
+
+double LoadModel::overload_rejection_probability(double utilization) noexcept {
+  constexpr double kSoftThreshold = 0.92;
+  if (utilization <= kSoftThreshold) return 0.0;
+  // Quadratic ramp above the soft threshold, saturating at 60%.
+  const double over = utilization - kSoftThreshold;
+  return std::min(0.60, 4.0 * over * over + 0.25 * over);
+}
+
+}  // namespace tl::ran

@@ -1,0 +1,33 @@
+#pragma once
+
+// Sector load model: diurnal utilization per sector driving RSRQ, the
+// target-overload failure cause (#4 — "load on target sector is too high"),
+// and the peak-hour concentration of urban HOFs.
+
+#include "mobility/activity.hpp"
+#include "topology/sector.hpp"
+#include "util/rng.hpp"
+
+namespace tl::ran {
+
+class LoadModel {
+ public:
+  LoadModel(const mobility::ActivityModel& activity, std::uint64_t seed)
+      : activity_(activity), seed_(seed) {}
+
+  /// Utilization of `sector` in [0, ~1.3] for a half-hour bin: diurnal
+  /// activity scaled by the sector's capacity and a stable per-sector busy
+  /// factor, plus small per-bin noise. Values above 1.0 mean overload.
+  double utilization(const topology::RadioSector& sector, int day,
+                     int half_hour_bin) const noexcept;
+
+  /// Probability that an incoming HO is rejected for load (Cause #4 input).
+  /// Zero below the soft threshold, rising steeply as the target saturates.
+  static double overload_rejection_probability(double utilization) noexcept;
+
+ private:
+  const mobility::ActivityModel& activity_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tl::ran

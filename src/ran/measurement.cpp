@@ -1,0 +1,31 @@
+#include "ran/measurement.hpp"
+
+namespace tl::ran {
+
+bool a2_fires(const MobilityConfig& config, const CellMeasurement& serving) noexcept {
+  return serving.rsrp_dbm + config.hysteresis_db < config.a2_threshold_dbm;
+}
+
+bool a3_fires(const MobilityConfig& config, const CellMeasurement& serving,
+              const CellMeasurement& neighbor) noexcept {
+  return neighbor.rsrp_dbm > serving.rsrp_dbm + config.a3_offset_db + config.hysteresis_db;
+}
+
+TriggerEvent evaluate_report(const MobilityConfig& config, const MeasurementReport& report,
+                             CellMeasurement* best_neighbor) {
+  const CellMeasurement* best = nullptr;
+  for (const auto& n : report.neighbors) {
+    if (a3_fires(config, report.serving, n) &&
+        (best == nullptr || n.rsrp_dbm > best->rsrp_dbm)) {
+      best = &n;
+    }
+  }
+  if (best != nullptr) {
+    if (best_neighbor != nullptr) *best_neighbor = *best;
+    return TriggerEvent::kA3;
+  }
+  if (a2_fires(config, report.serving)) return TriggerEvent::kA2;
+  return TriggerEvent::kNone;
+}
+
+}  // namespace tl::ran

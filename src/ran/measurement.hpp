@@ -1,0 +1,56 @@
+#pragma once
+
+// UE measurement reporting and the A2/A3 trigger events (§2).
+//
+// When a UE attaches, it receives mobility-management configuration
+// (thresholds, offsets, hysteresis). It then measures serving and neighbor
+// sectors and reports when an event fires: A2 — serving signal below a
+// threshold; A3 — a neighbor becomes offset-better than serving.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/sector.hpp"
+
+namespace tl::ran {
+
+/// Mobility-management configuration pushed to the UE at attach.
+struct MobilityConfig {
+  double a2_threshold_dbm = -105.0;
+  double a3_offset_db = 3.0;
+  double hysteresis_db = 1.0;
+  std::int32_t time_to_trigger_ms = 160;
+};
+
+struct CellMeasurement {
+  topology::SectorId sector = 0;
+  double rsrp_dbm = -140.0;
+  double rsrq_db = -20.0;
+};
+
+/// A Measurement Report: serving-cell measurement plus neighbor entries,
+/// ordered as measured (the HO decision sorts as needed).
+struct MeasurementReport {
+  CellMeasurement serving;
+  std::vector<CellMeasurement> neighbors;
+};
+
+enum class TriggerEvent : std::uint8_t {
+  kNone = 0,
+  kA2,  // serving below threshold
+  kA3,  // neighbor offset-better than serving
+};
+
+/// Whether an A2 event fires for the serving measurement.
+bool a2_fires(const MobilityConfig& config, const CellMeasurement& serving) noexcept;
+
+/// Whether an A3 event fires for a specific neighbor.
+bool a3_fires(const MobilityConfig& config, const CellMeasurement& serving,
+              const CellMeasurement& neighbor) noexcept;
+
+/// Evaluates a full report: returns the triggering event and, for A3, the
+/// best offset-better neighbor (written to `best_neighbor`).
+TriggerEvent evaluate_report(const MobilityConfig& config, const MeasurementReport& report,
+                             CellMeasurement* best_neighbor);
+
+}  // namespace tl::ran

@@ -1,0 +1,62 @@
+#include "ran/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tl::ran {
+
+RadioParams radio_params(topology::Rat rat) noexcept {
+  switch (rat) {
+    case topology::Rat::kG2: return {44.0, 900.0, 3.3, 7.0};
+    case topology::Rat::kG3: return {43.0, 2100.0, 3.6, 7.0};
+    case topology::Rat::kG4: return {46.0, 1800.0, 3.6, 6.0};
+    case topology::Rat::kG5Nr: return {47.0, 3500.0, 3.9, 6.0};
+  }
+  return {};
+}
+
+double reference_path_loss_db(double frequency_mhz) noexcept {
+  // Free-space loss at d0 = 1 km: 32.45 + 20 log10(f_MHz) + 20 log10(d_km).
+  return 32.45 + 20.0 * std::log10(frequency_mhz);
+}
+
+double path_loss_db(const RadioParams& params, double distance_km) noexcept {
+  const double d = std::max(distance_km, 0.01);  // near-field clamp
+  return reference_path_loss_db(params.frequency_mhz) +
+         10.0 * params.path_loss_exponent * std::log10(d);
+}
+
+double rsrp_dbm(const RadioParams& params, double distance_km, util::Rng& rng) noexcept {
+  return params.tx_power_dbm - path_loss_db(params, distance_km) +
+         rng.normal(0.0, params.shadowing_sigma_db);
+}
+
+double median_rsrp_dbm(const RadioParams& params, double distance_km) noexcept {
+  return params.tx_power_dbm - path_loss_db(params, distance_km);
+}
+
+double rsrq_db(double rsrp_dbm_value, double cell_load) noexcept {
+  // RSRQ = N * RSRP / RSSI; model RSSI growth with load as up to 10 dB of
+  // interference-and-traffic rise over an unloaded cell.
+  const double load = std::clamp(cell_load, 0.0, 1.0);
+  return -10.8 + (rsrp_dbm_value + 95.0) * 0.08 - 10.0 * load * 0.6;
+}
+
+double coverage_threshold_dbm(topology::Rat rat) noexcept {
+  switch (rat) {
+    case topology::Rat::kG2: return -108.0;
+    case topology::Rat::kG3: return -106.0;
+    case topology::Rat::kG4: return -110.0;
+    case topology::Rat::kG5Nr: return -105.0;
+  }
+  return -110.0;
+}
+
+double cell_radius_km(topology::Rat rat) noexcept {
+  const RadioParams p = radio_params(rat);
+  const double budget_db =
+      p.tx_power_dbm - coverage_threshold_dbm(rat) - reference_path_loss_db(p.frequency_mhz);
+  return std::pow(10.0, budget_db / (10.0 * p.path_loss_exponent));
+}
+
+}  // namespace tl::ran

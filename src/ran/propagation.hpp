@@ -1,0 +1,49 @@
+#pragma once
+
+// Radio propagation: log-distance path loss with lognormal shadowing, and
+// the RSRP/RSRQ measurements the UE reports (§2). Used directly by the
+// measurement-event machinery and, at country scale, distilled once into
+// per-postcode coverage profiles.
+
+#include "topology/rat.hpp"
+#include "util/geo_point.hpp"
+#include "util/rng.hpp"
+
+namespace tl::ran {
+
+/// Per-RAT radio parameters; carrier frequency drives the path-loss anchor.
+struct RadioParams {
+  double tx_power_dbm = 46.0;     // typical macro sector EIRP
+  double frequency_mhz = 1800.0;  // carrier
+  double path_loss_exponent = 3.6;
+  double shadowing_sigma_db = 6.0;
+};
+
+/// Canonical parameters per RAT: 2G at 900 MHz propagates farthest; 5G-NR
+/// at 3.5 GHz has the tightest cells.
+RadioParams radio_params(topology::Rat rat) noexcept;
+
+/// Free-space path loss at the 1 km reference distance for `frequency_mhz`.
+double reference_path_loss_db(double frequency_mhz) noexcept;
+
+/// Log-distance path loss (dB) at `distance_km`, without shadowing.
+double path_loss_db(const RadioParams& params, double distance_km) noexcept;
+
+/// RSRP (dBm) at `distance_km` including a shadowing draw.
+double rsrp_dbm(const RadioParams& params, double distance_km, util::Rng& rng) noexcept;
+
+/// Deterministic (median) RSRP, for coverage-profile construction.
+double median_rsrp_dbm(const RadioParams& params, double distance_km) noexcept;
+
+/// Approximate RSRQ (dB) from RSRP and a cell-load-driven interference
+/// level in [0, 1].
+double rsrq_db(double rsrp_dbm_value, double cell_load) noexcept;
+
+/// Minimum usable RSRP per RAT (below it the sector is out of coverage).
+double coverage_threshold_dbm(topology::Rat rat) noexcept;
+
+/// Effective cell radius: distance at which the median RSRP crosses the
+/// coverage threshold.
+double cell_radius_km(topology::Rat rat) noexcept;
+
+}  // namespace tl::ran

@@ -1,0 +1,62 @@
+#include "ran/target_selection.hpp"
+
+#include <vector>
+
+namespace tl::ran {
+
+using topology::ObservedRat;
+using topology::Rat;
+
+TargetDecision TargetSelector::decide(const devices::Ue& ue, geo::PostcodeId pc,
+                                      bool voice_active, util::Rng& rng) const {
+  const CoverageProfile& profile = coverage_.at(pc);
+  const double mult = CoverageMap::device_fallback_multiplier(ue.type);
+
+  TargetDecision decision;
+
+  // Voice raises the fallback pressure: where VoLTE coverage is thin the
+  // network moves active calls to the circuit-switched 3G layer via SRVCC.
+  const double voice_boost =
+      voice_active && profile.has_rat[static_cast<std::size_t>(Rat::kG3)] ? 1.6 : 1.0;
+
+  const double u = rng.uniform();
+  if (u < profile.p_fallback_2g * mult &&
+      profile.has_rat[static_cast<std::size_t>(Rat::kG2)]) {
+    decision.target_rat = ObservedRat::kG2;
+  } else if (u < (profile.p_fallback_2g + profile.p_fallback_3g * voice_boost) * mult &&
+             profile.has_rat[static_cast<std::size_t>(Rat::kG3)]) {
+    decision.target_rat = ObservedRat::kG3;
+    // A fallback carrying an active call is executed as SRVCC (PS -> CS).
+    decision.srvcc = voice_active;
+  } else {
+    decision.target_rat = ObservedRat::kG45Nsa;
+  }
+  return decision;
+}
+
+std::optional<topology::SectorId> TargetSelector::pick_sector(topology::SiteId site_id,
+                                                              ObservedRat rat_class,
+                                                              const devices::Ue& ue,
+                                                              util::Rng& rng) const {
+  const auto& site = deployment_.site(site_id);
+  std::vector<topology::SectorId> candidates;
+  std::vector<topology::SectorId> nr_candidates;
+  for (const topology::SectorId sid : site.sectors) {
+    const auto& sector = deployment_.sector(sid);
+    if (topology::observe(sector.rat) != rat_class) continue;
+    if (sector.rat == Rat::kG5Nr) {
+      if (topology::supports(ue.rat_support, Rat::kG5Nr)) nr_candidates.push_back(sid);
+      continue;
+    }
+    candidates.push_back(sid);
+  }
+  // EN-DC: a 5G-capable UE on a site with an NR layer anchors there.
+  if (!nr_candidates.empty() && rng.chance(0.8)) {
+    return nr_candidates[rng.below(nr_candidates.size())];
+  }
+  if (!candidates.empty()) return candidates[rng.below(candidates.size())];
+  if (!nr_candidates.empty()) return nr_candidates[rng.below(nr_candidates.size())];
+  return std::nullopt;
+}
+
+}  // namespace tl::ran

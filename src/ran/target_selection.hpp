@@ -1,0 +1,51 @@
+#pragma once
+
+// Handover target selection: given the UE, its serving context and the local
+// coverage, decide the target RAT class and the concrete target sector.
+//
+// Only handovers whose *source* is 4G/5G-NSA are in the paper's scope (the
+// EPC observation point); the selector therefore answers "does this 4G/5G
+// UE stay intra 4G/5G-NSA, or fall back to 3G/2G here?", plus the SRVCC
+// voice path that underlies failure Causes #6/#7.
+
+#include <optional>
+
+#include "devices/population.hpp"
+#include "ran/coverage.hpp"
+#include "topology/deployment.hpp"
+#include "topology/rat.hpp"
+#include "util/rng.hpp"
+
+namespace tl::ran {
+
+struct TargetDecision {
+  topology::ObservedRat target_rat = topology::ObservedRat::kG45Nsa;
+  /// The HO is an SRVCC (packet-to-circuit voice continuity) procedure.
+  bool srvcc = false;
+};
+
+class TargetSelector {
+ public:
+  TargetSelector(const topology::Deployment& deployment, const CoverageMap& coverage)
+      : deployment_(deployment), coverage_(coverage) {}
+
+  /// Target RAT class for a handover of `ue` occurring in postcode `pc`.
+  /// `voice_active` marks an ongoing voice call (raises the SRVCC path).
+  TargetDecision decide(const devices::Ue& ue, geo::PostcodeId pc, bool voice_active,
+                        util::Rng& rng) const;
+
+  /// Concrete target sector on `site` for the decided RAT class; prefers NR
+  /// when the UE supports it and the site has a 5G layer. Returns nullopt if
+  /// the site carries no sector of the class (caller then retries on the
+  /// next-nearest site).
+  std::optional<topology::SectorId> pick_sector(topology::SiteId site,
+                                                topology::ObservedRat rat_class,
+                                                const devices::Ue& ue,
+                                                util::Rng& rng) const;
+
+ private:
+  const topology::Deployment& deployment_;
+  const CoverageMap& coverage_;
+};
+
+}  // namespace tl::ran

@@ -1,0 +1,25 @@
+#include "telemetry/control_events.hpp"
+
+#include <stdexcept>
+
+namespace tl::telemetry {
+
+void ControlEventCounter::consume(const ControlPlaneEvent& event) {
+  const auto type = static_cast<std::size_t>(event.type);
+  const int hour = util::SimCalendar::hour_of_day(event.timestamp);
+  ++totals_[type];
+  ++by_hour_[type][static_cast<std::size_t>(hour)];
+}
+
+std::uint64_t ControlEventCounter::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto v : totals_) sum += v;
+  return sum;
+}
+
+std::uint64_t ControlEventCounter::count_at(ControlEventType type, int hour) const {
+  if (hour < 0 || hour >= 24) throw std::out_of_range{"ControlEventCounter::count_at"};
+  return by_hour_[static_cast<std::size_t>(type)][static_cast<std::size_t>(hour)];
+}
+
+}  // namespace tl::telemetry

@@ -1,0 +1,72 @@
+#pragma once
+
+// Control-plane events beyond handovers (§3.1): the mobility-management
+// signaling dataset also records service requests, attach/detach, paging
+// and Tracking Area Updates. The study focuses on HOs; these events round
+// out the dataset so downstream users get the full control-plane view an
+// MME sees.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "devices/device_type.hpp"
+#include "geo/district.hpp"
+#include "util/sim_time.hpp"
+
+namespace tl::telemetry {
+
+enum class ControlEventType : std::uint8_t {
+  kAttach = 0,
+  kDetach,
+  kServiceRequest,
+  kPaging,
+  kTrackingAreaUpdate,
+};
+
+inline constexpr std::size_t kControlEventTypes = 5;
+
+constexpr std::string_view to_string(ControlEventType t) noexcept {
+  switch (t) {
+    case ControlEventType::kAttach: return "Attach";
+    case ControlEventType::kDetach: return "Detach";
+    case ControlEventType::kServiceRequest: return "Service Request";
+    case ControlEventType::kPaging: return "Paging";
+    case ControlEventType::kTrackingAreaUpdate: return "Tracking Area Update";
+  }
+  return "?";
+}
+
+struct ControlPlaneEvent {
+  ControlEventType type = ControlEventType::kServiceRequest;
+  util::TimestampMs timestamp = 0;
+  std::uint64_t anon_user_id = 0;
+  devices::DeviceType device_type = devices::DeviceType::kSmartphone;
+  geo::AreaType area = geo::AreaType::kUrban;
+};
+
+class ControlEventSink {
+ public:
+  virtual ~ControlEventSink() = default;
+  virtual void consume(const ControlPlaneEvent& event) = 0;
+};
+
+/// Counting sink: events per type, per type-and-hour.
+class ControlEventCounter : public ControlEventSink {
+ public:
+  void consume(const ControlPlaneEvent& event) override;
+
+  std::uint64_t count(ControlEventType type) const noexcept {
+    return totals_[static_cast<std::size_t>(type)];
+  }
+  std::uint64_t total() const noexcept;
+  /// Events of `type` in hour-of-day `hour`.
+  std::uint64_t count_at(ControlEventType type, int hour) const;
+
+ private:
+  std::array<std::uint64_t, kControlEventTypes> totals_{};
+  std::array<std::array<std::uint64_t, 24>, kControlEventTypes> by_hour_{};
+};
+
+}  // namespace tl::telemetry

@@ -1,0 +1,51 @@
+#include "telemetry/sampling.hpp"
+
+#include <stdexcept>
+
+namespace tl::telemetry {
+
+SamplingSink::SamplingSink(RecordSink& inner, SamplingPolicy policy, double rate,
+                           std::uint64_t seed)
+    : inner_(inner), policy_(policy), rate_(rate), seed_(seed), rng_(seed) {
+  if (rate <= 0.0 || rate > 1.0) {
+    throw std::invalid_argument{"SamplingSink: rate must be in (0, 1]"};
+  }
+}
+
+bool SamplingSink::keeps(const HandoverRecord& record) noexcept {
+  switch (policy_) {
+    case SamplingPolicy::kUniform:
+      return rng_.uniform() < rate_;
+    case SamplingPolicy::kPerUe: {
+      // Stable per-UE coin: the same subscriber is either fully in or fully
+      // out of the panel.
+      const double u = static_cast<double>(util::anonymize(record.anon_user_id, seed_)) /
+                       static_cast<double>(~0ULL);
+      return u < rate_;
+    }
+    case SamplingPolicy::kStratifiedByTarget:
+      if (record.target_rat != topology::ObservedRat::kG45Nsa) return true;
+      return rng_.uniform() < rate_;
+  }
+  return true;
+}
+
+void SamplingSink::consume(const HandoverRecord& record) {
+  ++seen_;
+  if (!keeps(record)) return;
+  ++kept_;
+  inner_.consume(record);
+}
+
+double SamplingSink::weight_of(const HandoverRecord& record) const noexcept {
+  switch (policy_) {
+    case SamplingPolicy::kUniform:
+    case SamplingPolicy::kPerUe:
+      return 1.0 / rate_;
+    case SamplingPolicy::kStratifiedByTarget:
+      return record.target_rat != topology::ObservedRat::kG45Nsa ? 1.0 : 1.0 / rate_;
+  }
+  return 1.0;
+}
+
+}  // namespace tl::telemetry

@@ -1,0 +1,63 @@
+#pragma once
+
+// Record-stream sampling (§8: "large-scale analyses ... underscore the need
+// for further research into efficient data sampling techniques").
+//
+// Three estimator-friendly policies over the record firehose:
+//   - uniform:        keep each record with probability `rate`
+//   - per-UE:         keep *all* records of a `rate`-fraction of UEs (via a
+//                     keyed hash of the anonymized id) — preserves per-user
+//                     sequences, e.g. for ping-pong or mobility analysis
+//   - stratified:     keep all rare vertical HOs, sample the intra mass —
+//                     preserves tail statistics at a fraction of the volume
+//
+// Kept records flow to the wrapped sink; `weight_of` returns the inverse
+// inclusion probability so downstream estimators stay unbiased
+// (Horvitz-Thompson).
+
+#include <cstdint>
+
+#include "telemetry/sinks.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace tl::telemetry {
+
+enum class SamplingPolicy : std::uint8_t {
+  kUniform = 0,
+  kPerUe,
+  kStratifiedByTarget,
+};
+
+class SamplingSink : public RecordSink {
+ public:
+  /// `rate` in (0, 1]: target inclusion probability (for stratified, the
+  /// rate applied to intra 4G/5G-NSA records; vertical records always pass).
+  SamplingSink(RecordSink& inner, SamplingPolicy policy, double rate,
+               std::uint64_t seed = 0x5a3d);
+
+  void consume(const HandoverRecord& record) override;
+  void on_day_end(int day) override { inner_.on_day_end(day); }
+
+  std::uint64_t seen() const noexcept { return seen_; }
+  std::uint64_t kept() const noexcept { return kept_; }
+  double realized_rate() const noexcept {
+    return seen_ ? static_cast<double>(kept_) / static_cast<double>(seen_) : 0.0;
+  }
+
+  /// Horvitz-Thompson weight of a kept record under this policy.
+  double weight_of(const HandoverRecord& record) const noexcept;
+
+ private:
+  bool keeps(const HandoverRecord& record) noexcept;
+
+  RecordSink& inner_;
+  SamplingPolicy policy_;
+  double rate_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t kept_ = 0;
+};
+
+}  // namespace tl::telemetry

@@ -1,0 +1,27 @@
+#pragma once
+
+// Streaming consumption of telemetry.
+//
+// The operator's pipeline cannot retain raw records at 1.7B HOs/day; ours
+// streams each record through registered sinks and lets aggregators reduce
+// online. Full retention (SignalingDataset) is itself just another sink.
+
+#include "telemetry/records.hpp"
+
+namespace tl::telemetry {
+
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void consume(const HandoverRecord& record) = 0;
+  /// Called once per simulated day after all of the day's records.
+  virtual void on_day_end(int day) { (void)day; }
+};
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void consume(const UeDayMetrics& metrics) = 0;
+};
+
+}  // namespace tl::telemetry

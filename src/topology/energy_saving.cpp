@@ -1,0 +1,44 @@
+#include "topology/energy_saving.hpp"
+
+#include "util/hash.hpp"
+
+namespace tl::topology {
+
+double EnergySavingPolicy::booster_sleep_fraction(int half_hour_bin) noexcept {
+  // Piecewise daily shape, in fraction of the *booster* fleet asleep:
+  //   00:00-06:00 deep night: most boosters off
+  //   06:00-08:00 ramp-up to the morning peak
+  //   08:00-17:00 plateau: effectively everything on (~99% of all sectors)
+  //   17:00-24:00 gradual shutdown, ~1% of all sectors per 30 minutes
+  constexpr double kNight = 0.72;
+  constexpr double kPlateau = 0.03;
+  constexpr double kMidnight = 0.56;
+  if (half_hour_bin < 0 || half_hour_bin >= tl::util::kBinsPerDay30Min) return kNight;
+  if (half_hour_bin < 12) return kNight;  // [00:00, 06:00)
+  if (half_hour_bin < 16) {               // [06:00, 08:00): linear ramp
+    const double f = (half_hour_bin - 12) / 4.0;
+    return kNight + f * (kPlateau - kNight);
+  }
+  if (half_hour_bin < 34) return kPlateau;  // [08:00, 17:00)
+  const double f = (half_hour_bin - 34) / 13.0;  // [17:00, 23:30]
+  return kPlateau + f * (kMidnight - kPlateau);
+}
+
+bool EnergySavingPolicy::is_active(const RadioSector& sector, int day,
+                                   int half_hour_bin) const noexcept {
+  (void)day;  // the shutdown ranking is stable across the study period
+  if (!sector.capacity_booster) return true;
+  // Stable per-sector rank in [0,1): low-ranked boosters sleep first, so the
+  // same sectors carry the overnight savings every day.
+  const double rank =
+      static_cast<double>(tl::util::anonymize(sector.id, seed_)) /
+      static_cast<double>(~0ULL);
+  return rank >= booster_sleep_fraction(half_hour_bin);
+}
+
+double EnergySavingPolicy::expected_active_fraction(double booster_share,
+                                                    int half_hour_bin) noexcept {
+  return 1.0 - booster_share * booster_sleep_fraction(half_hour_bin);
+}
+
+}  // namespace tl::topology

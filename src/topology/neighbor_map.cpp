@@ -1,0 +1,30 @@
+#include "topology/neighbor_map.hpp"
+
+namespace tl::topology {
+
+NeighborMap::NeighborMap(const Deployment& deployment, std::size_t max_neighbors) {
+  const auto sites = deployment.sites();
+  neighbors_.resize(sites.size());
+  for (const auto& site : sites) {
+    // nearest_k includes the site itself; request one extra and drop it.
+    auto near = deployment.site_index().nearest_k(site.location, max_neighbors + 1);
+    auto& list = neighbors_[site.id];
+    list.reserve(max_neighbors);
+    for (const SiteId id : near) {
+      if (id != site.id && list.size() < max_neighbors) list.push_back(id);
+    }
+  }
+}
+
+std::span<const SiteId> NeighborMap::neighbors_of(SiteId site) const {
+  return neighbors_.at(site);
+}
+
+double NeighborMap::average_degree() const noexcept {
+  if (neighbors_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& list : neighbors_) total += list.size();
+  return static_cast<double>(total) / static_cast<double>(neighbors_.size());
+}
+
+}  // namespace tl::topology

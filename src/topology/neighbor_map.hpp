@@ -1,0 +1,29 @@
+#pragma once
+
+// Neighbor relations between cell sites, the candidate set for handover
+// targets. The HO decision consults the source site's neighbor list the way
+// a RAN's neighbor-cell configuration would.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/deployment.hpp"
+
+namespace tl::topology {
+
+class NeighborMap {
+ public:
+  /// Builds per-site neighbor lists of up to `max_neighbors` nearest sites.
+  NeighborMap(const Deployment& deployment, std::size_t max_neighbors = 8);
+
+  std::span<const SiteId> neighbors_of(SiteId site) const;
+
+  /// Average neighbor-list length (diagnostics).
+  double average_degree() const noexcept;
+
+ private:
+  std::vector<std::vector<SiteId>> neighbors_;
+};
+
+}  // namespace tl::topology

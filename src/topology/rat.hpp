@@ -1,0 +1,89 @@
+#pragma once
+
+// Radio access technologies. The study window catches all digital RATs of
+// the last three decades operating concurrently (2G, 3G, 4G, 5G-NR in NSA
+// mode). From the EPC's mobility-management viewpoint, 4G and 5G-NSA are
+// indistinguishable ("4G/5G-NSA"), which the ObservedRat type encodes.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tl::topology {
+
+/// Ground-truth technology of a radio sector.
+enum class Rat : std::uint8_t {
+  kG2 = 0,
+  kG3,
+  kG4,
+  kG5Nr,  // 5G New Radio, NSA deployment (anchored to a 4G EPC)
+};
+
+inline constexpr std::array<Rat, 4> kAllRats{Rat::kG2, Rat::kG3, Rat::kG4, Rat::kG5Nr};
+
+constexpr std::string_view to_string(Rat rat) noexcept {
+  switch (rat) {
+    case Rat::kG2: return "2G";
+    case Rat::kG3: return "3G";
+    case Rat::kG4: return "4G";
+    case Rat::kG5Nr: return "5G-NR";
+  }
+  return "?";
+}
+
+/// What the 4G EPC's MME records for a sector: 5G-NSA events surface behind
+/// their 4G anchor, so 4G and 5G-NR collapse into one observed class.
+enum class ObservedRat : std::uint8_t {
+  kG2 = 0,
+  kG3,
+  kG45Nsa,  // "4G/5G-NSA"
+};
+
+constexpr ObservedRat observe(Rat rat) noexcept {
+  switch (rat) {
+    case Rat::kG2: return ObservedRat::kG2;
+    case Rat::kG3: return ObservedRat::kG3;
+    case Rat::kG4:
+    case Rat::kG5Nr: return ObservedRat::kG45Nsa;
+  }
+  return ObservedRat::kG45Nsa;
+}
+
+constexpr std::string_view to_string(ObservedRat rat) noexcept {
+  switch (rat) {
+    case ObservedRat::kG2: return "2G";
+    case ObservedRat::kG3: return "3G";
+    case ObservedRat::kG45Nsa: return "4G/5G-NSA";
+  }
+  return "?";
+}
+
+/// Highest RAT a device can attach to (device capability, Fig. 4b).
+enum class RatSupport : std::uint8_t {
+  kUpTo2G = 0,
+  kUpTo3G,
+  kUpTo4G,
+  kUpTo5G,
+};
+
+constexpr std::string_view to_string(RatSupport s) noexcept {
+  switch (s) {
+    case RatSupport::kUpTo2G: return "2G";
+    case RatSupport::kUpTo3G: return "3G";
+    case RatSupport::kUpTo4G: return "4G";
+    case RatSupport::kUpTo5G: return "5G";
+  }
+  return "?";
+}
+
+constexpr bool supports(RatSupport s, Rat rat) noexcept {
+  switch (rat) {
+    case Rat::kG2: return true;
+    case Rat::kG3: return s >= RatSupport::kUpTo3G;
+    case Rat::kG4: return s >= RatSupport::kUpTo4G;
+    case Rat::kG5Nr: return s >= RatSupport::kUpTo5G;
+  }
+  return false;
+}
+
+}  // namespace tl::topology

@@ -1,0 +1,53 @@
+#pragma once
+
+// Cell sites and radio sectors: the MNO's deployment footprint.
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/district.hpp"
+#include "topology/rat.hpp"
+#include "topology/vendor.hpp"
+#include "util/geo_point.hpp"
+
+namespace tl::topology {
+
+using SiteId = std::uint32_t;
+using SectorId = std::uint32_t;
+
+struct CellSite {
+  SiteId id = 0;
+  tl::util::GeoPoint location;
+  geo::PostcodeId postcode = 0;
+  geo::DistrictId district = 0;
+  geo::Region region = geo::Region::kNorth;
+  geo::AreaType area_type = geo::AreaType::kRural;
+  Vendor vendor = Vendor::kV1;
+  std::vector<SectorId> sectors;
+};
+
+struct RadioSector {
+  SectorId id = 0;
+  SiteId site = 0;
+  Rat rat = Rat::kG4;
+  Vendor vendor = Vendor::kV1;
+  geo::PostcodeId postcode = 0;
+  geo::DistrictId district = 0;
+  geo::Region region = geo::Region::kNorth;
+  geo::AreaType area_type = geo::AreaType::kRural;
+  /// Boresight azimuth in degrees (tri-sector sites: 0/120/240 + jitter).
+  float azimuth_deg = 0.0f;
+  std::uint16_t deploy_year = 2015;
+  /// Year the sector is switched off (legacy sunset), or 0 if still live.
+  std::uint16_t decommission_year = 0;
+  /// Capacity boosters are eligible for overnight energy-saving shutdown.
+  bool capacity_booster = false;
+  /// Relative capacity (Erlang-like units) for the load model.
+  float capacity = 1.0f;
+
+  bool live_in(int year) const noexcept {
+    return deploy_year <= year && (decommission_year == 0 || decommission_year > year);
+  }
+};
+
+}  // namespace tl::topology

@@ -1,0 +1,50 @@
+#include "topology/snapshot.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace tl::topology {
+
+std::size_t export_topology_csv(const Deployment& deployment, const geo::Country& country,
+                                std::ostream& os, int year) {
+  util::CsvWriter writer{os};
+  writer.write_row({"sector_id", "site_id", "x_km", "y_km", "postcode", "district",
+                    "rat", "vendor", "deploy_year", "area"});
+  std::size_t rows = 0;
+  for (const auto& sector : deployment.sectors()) {
+    if (!sector.live_in(year)) continue;
+    const auto& site = deployment.site(sector.site);
+    writer.write_row({std::to_string(sector.id), std::to_string(sector.site),
+                      std::to_string(site.location.x_km),
+                      std::to_string(site.location.y_km),
+                      std::to_string(sector.postcode), std::to_string(sector.district),
+                      std::string{to_string(sector.rat)},
+                      std::string{to_string(sector.vendor)},
+                      std::to_string(sector.deploy_year),
+                      std::string{geo::to_string(sector.area_type)}});
+    ++rows;
+  }
+  (void)country;
+  return rows;
+}
+
+std::size_t export_census_csv(const geo::Country& country, std::ostream& os) {
+  util::CsvWriter writer{os};
+  writer.write_row({"postcode", "district", "district_name", "region", "residents",
+                    "area_km2", "class", "census_reliable"});
+  std::size_t rows = 0;
+  for (const auto& pc : country.postcodes()) {
+    const auto& district = country.district_of(pc);
+    writer.write_row({std::to_string(pc.id), std::to_string(pc.district), district.name,
+                      std::string{geo::to_string(district.region)},
+                      std::to_string(pc.residents), std::to_string(pc.area_km2),
+                      std::string{geo::to_string(pc.area_type())},
+                      pc.census_reliable ? "yes" : "no"});
+    ++rows;
+  }
+  return rows;
+}
+
+}  // namespace tl::topology

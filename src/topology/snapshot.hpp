@@ -1,0 +1,25 @@
+#pragma once
+
+// Radio-network-topology dataset export (§3.1): the paper captures a daily
+// snapshot of every deployed sector — location, postcode, supported
+// technology. This module renders the same dataset from a Deployment, for a
+// given observation year (so the 2009-2023 history can be exported too).
+
+#include <iosfwd>
+
+#include "geo/country.hpp"
+#include "topology/deployment.hpp"
+
+namespace tl::topology {
+
+/// Writes one row per sector live in `year`: sector id, site id, longitude/
+/// latitude (plane km in the synthetic country), postcode, district, RAT,
+/// vendor, deploy year, area class. Returns the number of rows written.
+std::size_t export_topology_csv(const Deployment& deployment, const geo::Country& country,
+                                std::ostream& os, int year = 2024);
+
+/// Census-office companion dataset: one row per postcode with district,
+/// residents, area and the urban/rural class. Returns rows written.
+std::size_t export_census_csv(const geo::Country& country, std::ostream& os);
+
+}  // namespace tl::topology

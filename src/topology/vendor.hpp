@@ -1,0 +1,59 @@
+#pragma once
+
+// Antenna vendors. Four principal vendors (anonymized V1–V4 as in the
+// paper) deploy asymmetrically across regions; vendor is a significant but
+// secondary covariate of the HOF-rate models (Tables 5, 7; Fig. 17, 18).
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "geo/region.hpp"
+
+namespace tl::topology {
+
+enum class Vendor : std::uint8_t {
+  kV1 = 0,
+  kV2,
+  kV3,
+  kV4,
+};
+
+inline constexpr std::array<Vendor, 4> kAllVendors{Vendor::kV1, Vendor::kV2, Vendor::kV3,
+                                                   Vendor::kV4};
+
+constexpr std::string_view to_string(Vendor v) noexcept {
+  switch (v) {
+    case Vendor::kV1: return "V1";
+    case Vendor::kV2: return "V2";
+    case Vendor::kV3: return "V3";
+    case Vendor::kV4: return "V4";
+  }
+  return "?";
+}
+
+/// Region-conditional vendor mix: each region has a dominant vendor with
+/// the others mixed in, mirroring Fig. 17 (top).
+constexpr std::array<double, 4> vendor_weights(geo::Region region) noexcept {
+  switch (region) {
+    case geo::Region::kCapital: return {0.62, 0.28, 0.06, 0.04};
+    case geo::Region::kNorth: return {0.18, 0.64, 0.10, 0.08};
+    case geo::Region::kSouth: return {0.46, 0.42, 0.07, 0.05};
+    case geo::Region::kWest: return {0.12, 0.20, 0.55, 0.13};
+  }
+  return {0.25, 0.25, 0.25, 0.25};
+}
+
+/// Multiplicative effect of the vendor on the HOF rate (V3 markedly worse,
+/// V1 baseline), calibrated against the Table 5/7 coefficients.
+constexpr double vendor_hof_multiplier(Vendor v) noexcept {
+  switch (v) {
+    case Vendor::kV1: return 1.00;
+    case Vendor::kV2: return 1.12;
+    case Vendor::kV3: return 2.05;
+    case Vendor::kV4: return 1.07;
+  }
+  return 1.0;
+}
+
+}  // namespace tl::topology

@@ -1,0 +1,73 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace tl::util {
+
+std::string CsvWriter::escape(std::string_view cell, char sep) {
+  const bool needs_quotes = cell.find(sep) != std::string_view::npos ||
+                            cell.find('"') != std::string_view::npos ||
+                            cell.find('\n') != std::string_view::npos;
+  if (!needs_quotes) return std::string{cell};
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << sep_;
+    os_ << escape(cells[i], sep_);
+  }
+  os_ << '\n';
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line, char sep) {
+  std::vector<std::string> out;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == sep) {
+      out.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell.push_back(c);
+    }
+  }
+  out.push_back(std::move(cell));
+  return out;
+}
+
+std::vector<std::vector<std::string>> read_csv(std::istream& is, char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(parse_csv_line(line, sep));
+  }
+  return rows;
+}
+
+}  // namespace tl::util

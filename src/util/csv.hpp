@@ -1,0 +1,34 @@
+#pragma once
+
+// Minimal CSV reading/writing for dataset export and example tooling.
+// Handles quoting of fields containing separators, quotes, or newlines.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tl::util {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; `sep` between fields.
+  explicit CsvWriter(std::ostream& os, char sep = ',') : os_(os), sep_(sep) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  static std::string escape(std::string_view cell, char sep);
+
+ private:
+  std::ostream& os_;
+  char sep_;
+};
+
+/// Parses a single CSV line honoring quotes; `sep` between fields.
+std::vector<std::string> parse_csv_line(std::string_view line, char sep = ',');
+
+/// Reads all rows from a stream (one row per logical line; quoted newlines
+/// are not supported — the telcolens exporters never emit them).
+std::vector<std::vector<std::string>> read_csv(std::istream& is, char sep = ',');
+
+}  // namespace tl::util

@@ -1,0 +1,156 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tl::util {
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument{"normal_quantile: p must be in (0,1)"};
+  }
+  // Peter Acklam's rational approximation, |relative error| < 1.15e-9.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+LogNormal LogNormal::from_median_p95(double median, double p95) {
+  if (median <= 0 || p95 <= median) {
+    throw std::invalid_argument{"LogNormal::from_median_p95: need 0 < median < p95"};
+  }
+  const double mu = std::log(median);
+  const double z95 = normal_quantile(0.95);
+  const double sigma = (std::log(p95) - mu) / z95;
+  return LogNormal{mu, sigma};
+}
+
+double LogNormal::sample(Rng& rng) const noexcept {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+double LogNormal::median() const noexcept { return std::exp(mu_); }
+
+double LogNormal::mean() const noexcept {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+Zipf::Zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument{"Zipf: n must be positive"};
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t Zipf::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Zipf::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) throw std::out_of_range{"Zipf::pmf: rank out of range"};
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+TruncatedNormal::TruncatedNormal(double mean, double stddev, double lo, double hi) noexcept
+    : mean_(mean), stddev_(stddev), lo_(lo), hi_(hi) {}
+
+double TruncatedNormal::sample(Rng& rng) const noexcept {
+  // Rejection works well while the window covers meaningful mass; bail out
+  // to clamping after a bounded number of attempts so sampling stays O(1).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = rng.normal(mean_, stddev_);
+    if (x >= lo_ && x <= hi_) return x;
+  }
+  return std::clamp(mean_, lo_, hi_);
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument{"DiscreteSampler: empty weights"};
+  const std::size_t n = weights.size();
+  double sum = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument{"DiscreteSampler: negative weight"};
+    sum += w;
+  }
+  if (sum <= 0.0) throw std::invalid_argument{"DiscreteSampler: zero total weight"};
+
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / sum;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const noexcept {
+  const std::size_t i = rng.below(prob_.size());
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+double Pareto::sample(Rng& rng) const noexcept {
+  double u;
+  do {
+    u = rng.uniform();
+  } while (u <= 0.0);
+  return x_m_ / std::pow(u, 1.0 / alpha_);
+}
+
+}  // namespace tl::util

@@ -1,0 +1,99 @@
+#pragma once
+
+// Distribution toolkit used across the generator: heavy-tailed populations
+// (Zipf), skewed durations (lognormal), bounded effects (truncated normal),
+// and O(1) categorical sampling (alias method).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tl::util {
+
+/// Lognormal distribution parameterized by the underlying normal's mu/sigma.
+class LogNormal {
+ public:
+  LogNormal(double mu, double sigma) noexcept : mu_(mu), sigma_(sigma) {}
+
+  /// Builds the distribution from a target median and p95 of the lognormal
+  /// itself (convenient when calibrating against reported percentiles).
+  static LogNormal from_median_p95(double median, double p95);
+
+  double sample(Rng& rng) const noexcept;
+  double median() const noexcept;
+  double mean() const noexcept;
+  double quantile(double p) const;
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Zipf (discrete power-law) over ranks 1..n with exponent s.
+/// Sampling via inverse transform over the precomputed CDF: O(log n).
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+
+  /// Returns a rank in [0, n).
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Probability mass of rank k (0-based).
+  double pmf(std::size_t k) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Normal truncated to [lo, hi]; samples by rejection with a bounded
+/// fallback to clamping for extreme truncation.
+class TruncatedNormal {
+ public:
+  TruncatedNormal(double mean, double stddev, double lo, double hi) noexcept;
+  double sample(Rng& rng) const noexcept;
+
+ private:
+  double mean_, stddev_, lo_, hi_;
+};
+
+/// Walker's alias method: O(n) build, O(1) categorical sampling.
+class DiscreteSampler {
+ public:
+  /// Weights need not be normalized; must be non-negative with positive sum.
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Normalized probability of category i.
+  double probability(std::size_t i) const noexcept { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> normalized_;
+};
+
+/// Pareto (type I) with scale x_m and shape alpha.
+class Pareto {
+ public:
+  Pareto(double x_m, double alpha) noexcept : x_m_(x_m), alpha_(alpha) {}
+  double sample(Rng& rng) const noexcept;
+
+ private:
+  double x_m_, alpha_;
+};
+
+/// Standard normal quantile function (Acklam's rational approximation),
+/// exposed for calibration helpers.
+double normal_quantile(double p);
+
+}  // namespace tl::util

@@ -1,0 +1,41 @@
+#pragma once
+
+// Planar geography for the synthetic country.
+//
+// The paper only uses geography for district areas, urban/rural splits and
+// the radius of gyration; a local tangent-plane approximation in kilometres
+// is faithful at country scale and keeps distance math exact and fast.
+
+#include <cmath>
+
+namespace tl::util {
+
+/// A point on the synthetic country's plane, in kilometres.
+struct GeoPoint {
+  double x_km = 0.0;
+  double y_km = 0.0;
+
+  friend constexpr bool operator==(const GeoPoint&, const GeoPoint&) = default;
+
+  constexpr GeoPoint operator+(const GeoPoint& o) const noexcept {
+    return {x_km + o.x_km, y_km + o.y_km};
+  }
+  constexpr GeoPoint operator-(const GeoPoint& o) const noexcept {
+    return {x_km - o.x_km, y_km - o.y_km};
+  }
+  constexpr GeoPoint operator*(double s) const noexcept { return {x_km * s, y_km * s}; }
+
+  double norm() const noexcept { return std::hypot(x_km, y_km); }
+};
+
+inline double distance_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  return (a - b).norm();
+}
+
+inline double squared_distance_km2(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double dx = a.x_km - b.x_km;
+  const double dy = a.y_km - b.y_km;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace tl::util

@@ -1,0 +1,13 @@
+#include "util/hash.hpp"
+
+#include <cstdio>
+
+namespace tl::util {
+
+std::string format_anon_id(std::uint64_t anon_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "anon:%016llx", static_cast<unsigned long long>(anon_id));
+  return buf;
+}
+
+}  // namespace tl::util

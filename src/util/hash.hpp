@@ -1,0 +1,45 @@
+#pragma once
+
+// Hashing and subscriber-identifier anonymization.
+//
+// The operator pipeline anonymizes IMSI/IMEI before analysts touch the data;
+// we reproduce that boundary: raw identities exist only inside the device
+// population generator, and every telemetry record carries a keyed hash.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tl::util {
+
+/// FNV-1a over bytes; stable across platforms.
+constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes a 64-bit value (Stafford variant 13 finalizer).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Keyed anonymization of a numeric subscriber identity. One-way under a
+/// secret key (the MNO's pseudonymization salt).
+constexpr std::uint64_t anonymize(std::uint64_t identity, std::uint64_t key) noexcept {
+  return mix64(identity ^ mix64(key));
+}
+
+/// Formats an anonymized id as the operator tooling prints it, e.g.
+/// "anon:1f9a0c…" — 16 hex digits.
+std::string format_anon_id(std::uint64_t anon_id);
+
+}  // namespace tl::util

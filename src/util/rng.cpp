@@ -1,0 +1,64 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace tl::util {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  if (n <= 1) return 0;
+  // Lemire's multiply-and-shift with rejection of the biased low range.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double lambda) noexcept {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+Rng Rng::derive(std::uint64_t seed, std::uint64_t salt_a, std::uint64_t salt_b,
+                std::uint64_t salt_c) noexcept {
+  // Mix the salts through SplitMix64 one at a time so that nearby ids
+  // produce decorrelated streams.
+  std::uint64_t s = seed;
+  std::uint64_t mixed = splitmix64(s);
+  s ^= salt_a + 0x9e3779b97f4a7c15ULL;
+  mixed ^= splitmix64(s);
+  s ^= salt_b + 0xd1b54a32d192ed03ULL;
+  mixed ^= splitmix64(s);
+  s ^= salt_c + 0x8cb92ba72f3d8dd7ULL;
+  mixed ^= splitmix64(s);
+  return Rng{mixed};
+}
+
+}  // namespace tl::util

@@ -1,0 +1,33 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+namespace tl::util {
+
+const char* to_short_name(DayOfWeek day) noexcept {
+  switch (day) {
+    case DayOfWeek::kMonday: return "Mo";
+    case DayOfWeek::kTuesday: return "Tu";
+    case DayOfWeek::kWednesday: return "We";
+    case DayOfWeek::kThursday: return "Th";
+    case DayOfWeek::kFriday: return "Fr";
+    case DayOfWeek::kSaturday: return "Sa";
+    case DayOfWeek::kSunday: return "Su";
+  }
+  return "??";
+}
+
+std::string format_timestamp(TimestampMs t) {
+  const int day = SimCalendar::day_index(t);
+  const std::int64_t ms = SimCalendar::ms_of_day(t);
+  const int hour = static_cast<int>(ms / kMsPerHour);
+  const int minute = static_cast<int>((ms / kMsPerMinute) % 60);
+  const int second = static_cast<int>((ms / kMsPerSecond) % 60);
+  const int millis = static_cast<int>(ms % kMsPerSecond);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "d%02d %s %02d:%02d:%02d.%03d", day,
+                to_short_name(SimCalendar::day_of_week(t)), hour, minute, second, millis);
+  return buf;
+}
+
+}  // namespace tl::util

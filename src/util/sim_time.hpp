@@ -1,0 +1,99 @@
+#pragma once
+
+// Simulation clock and calendar for the 4-week study window.
+//
+// All timestamps are integral milliseconds since the study epoch
+// (Monday 2024-01-29 00:00:00, the first day of the paper's capture).
+// The calendar knows only what the analysis needs: day index, day of week,
+// weekday/weekend, time of day, and 30-minute/hourly bin indices.
+
+#include <cstdint>
+#include <string>
+
+namespace tl::util {
+
+/// Milliseconds since the study epoch.
+using TimestampMs = std::int64_t;
+
+inline constexpr std::int64_t kMsPerSecond = 1000;
+inline constexpr std::int64_t kMsPerMinute = 60 * kMsPerSecond;
+inline constexpr std::int64_t kMsPerHour = 60 * kMsPerMinute;
+inline constexpr std::int64_t kMsPerDay = 24 * kMsPerHour;
+inline constexpr int kStudyDays = 28;        // four weeks, as in the paper
+inline constexpr int kBinsPerDay30Min = 48;  // Fig. 7 granularity
+
+enum class DayOfWeek : std::uint8_t {
+  kMonday = 0,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+  kSunday,
+};
+
+/// Returns the short English name ("Mo", "Tu", ...).
+const char* to_short_name(DayOfWeek day) noexcept;
+
+/// Calendar utilities over study timestamps.
+class SimCalendar {
+ public:
+  /// Day index since epoch (day 0 = Monday 2024-01-29).
+  static constexpr int day_index(TimestampMs t) noexcept {
+    return static_cast<int>(t / kMsPerDay);
+  }
+
+  static constexpr DayOfWeek day_of_week(TimestampMs t) noexcept {
+    return static_cast<DayOfWeek>(day_index(t) % 7);
+  }
+
+  static constexpr bool is_weekend(TimestampMs t) noexcept {
+    const auto dow = day_of_week(t);
+    return dow == DayOfWeek::kSaturday || dow == DayOfWeek::kSunday;
+  }
+
+  static constexpr DayOfWeek day_of_week_for_day(int day) noexcept {
+    return static_cast<DayOfWeek>(day % 7);
+  }
+
+  static constexpr bool is_weekend_day(int day) noexcept {
+    const auto dow = day_of_week_for_day(day);
+    return dow == DayOfWeek::kSaturday || dow == DayOfWeek::kSunday;
+  }
+
+  /// Milliseconds elapsed within the day, in [0, kMsPerDay).
+  static constexpr std::int64_t ms_of_day(TimestampMs t) noexcept {
+    return t % kMsPerDay;
+  }
+
+  /// Hour of day in [0, 24).
+  static constexpr int hour_of_day(TimestampMs t) noexcept {
+    return static_cast<int>(ms_of_day(t) / kMsPerHour);
+  }
+
+  /// 30-minute bin of the day in [0, 48).
+  static constexpr int half_hour_bin(TimestampMs t) noexcept {
+    return static_cast<int>(ms_of_day(t) / (30 * kMsPerMinute));
+  }
+
+  /// Fractional hour of day in [0, 24).
+  static constexpr double fractional_hour(TimestampMs t) noexcept {
+    return static_cast<double>(ms_of_day(t)) / static_cast<double>(kMsPerHour);
+  }
+
+  /// Timestamp at `hour_fraction` hours (e.g. 7.5 = 07:30) into `day`.
+  static constexpr TimestampMs at(int day, double hour_fraction) noexcept {
+    return static_cast<TimestampMs>(day) * kMsPerDay +
+           static_cast<TimestampMs>(hour_fraction * static_cast<double>(kMsPerHour));
+  }
+
+  /// True for the paper's nighttime home-inference window [00:00, 08:00).
+  static constexpr bool is_night(TimestampMs t) noexcept {
+    return hour_of_day(t) < 8;
+  }
+};
+
+/// "d07 Tu 08:31:02.113" — human-readable timestamp for logs and examples.
+std::string format_timestamp(TimestampMs t);
+
+}  // namespace tl::util

@@ -1,0 +1,41 @@
+#pragma once
+
+// Fixed-width text tables for the bench harnesses.
+//
+// Every bench regenerates one of the paper's tables/figures as rows printed
+// to stdout; this printer keeps those readouts aligned and diff-friendly.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tl::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  /// Percentage with '%' suffix.
+  static std::string pct(double fraction, int precision = 2);
+
+  /// Renders with a header rule and column padding.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a titled section banner around a table (used by benches).
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace tl::util

@@ -1,0 +1,358 @@
+// Failure model, cause catalog, duration model, HO state machine, entities.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core_network/duration_model.hpp"
+#include "core_network/entities.hpp"
+#include "core_network/failure_causes.hpp"
+#include "core_network/failure_model.hpp"
+#include "core_network/ho_state_machine.hpp"
+
+namespace tl::corenet {
+namespace {
+
+using topology::ObservedRat;
+
+TEST(FailureModel, BaseRatesOrderIntraBelow3gBelow2g) {
+  const FailureModel fm;
+  FailureContext ctx;
+  ctx.ue_hof_multiplier = 1.0;
+  ctx.target = ObservedRat::kG45Nsa;
+  const double p_intra = fm.failure_probability(ctx);
+  ctx.target = ObservedRat::kG3;
+  const double p_3g = fm.failure_probability(ctx);
+  ctx.target = ObservedRat::kG2;
+  const double p_2g = fm.failure_probability(ctx);
+  EXPECT_LT(p_intra, p_3g);
+  EXPECT_LT(p_3g, p_2g);
+}
+
+TEST(FailureModel, SectorDayMultiplierHasUnitMedian) {
+  const FailureModel fm;
+  for (const auto target : {ObservedRat::kG45Nsa, ObservedRat::kG3}) {
+    std::vector<double> mults;
+    for (std::uint32_t sector = 0; sector < 2000; ++sector) {
+      mults.push_back(fm.sector_day_multiplier(sector, sector % 28, target));
+    }
+    std::sort(mults.begin(), mults.end());
+    EXPECT_NEAR(mults[mults.size() / 2], 1.0, 0.2);
+  }
+  // Deterministic, and burstier on the intra path.
+  EXPECT_EQ(fm.sector_day_multiplier(5, 3, ObservedRat::kG3),
+            fm.sector_day_multiplier(5, 3, ObservedRat::kG3));
+  EXPECT_NE(fm.sector_day_multiplier(5, 3, ObservedRat::kG3),
+            fm.sector_day_multiplier(5, 4, ObservedRat::kG3));
+}
+
+TEST(FailureModel, EffectsMultiply) {
+  const FailureModel fm;
+  FailureContext base;
+  base.target = ObservedRat::kG3;
+  base.area = geo::AreaType::kUrban;
+  base.region = geo::Region::kCapital;
+  base.vendor = topology::Vendor::kV1;
+  const double p0 = fm.failure_probability(base);
+
+  FailureContext rural = base;
+  rural.area = geo::AreaType::kRural;
+  EXPECT_NEAR(fm.failure_probability(rural) / p0, 1.30, 1e-9);
+
+  FailureContext west = base;
+  west.region = geo::Region::kWest;
+  EXPECT_NEAR(fm.failure_probability(west) / p0, 1.49, 1e-9);
+
+  FailureContext v3 = base;
+  v3.vendor = topology::Vendor::kV3;
+  EXPECT_NEAR(fm.failure_probability(v3) / p0,
+              topology::vendor_hof_multiplier(topology::Vendor::kV3), 1e-9);
+
+  FailureContext loaded = base;
+  loaded.overload = 0.4;
+  EXPECT_GT(fm.failure_probability(loaded), p0);
+}
+
+TEST(FailureModel, ClampsToValidProbability) {
+  const FailureModel fm;
+  FailureContext ctx;
+  ctx.target = ObservedRat::kG2;
+  ctx.ue_hof_multiplier = 1e9;
+  EXPECT_LE(fm.failure_probability(ctx), 0.92);
+  ctx.ue_hof_multiplier = 0.0;
+  EXPECT_EQ(fm.failure_probability(ctx), 0.0);
+}
+
+TEST(CauseCatalog, CarriesAThousandPlusCauses) {
+  const CauseCatalog catalog;
+  EXPECT_GE(catalog.total_causes(), 1000u);
+  EXPECT_EQ(catalog.description(kCause4TargetLoadTooHigh),
+            "Load on target sector is too high");
+  EXPECT_NE(catalog.description(kFirstTailCause).find("Vendor V"), std::string::npos);
+  EXPECT_THROW(catalog.description(9), std::out_of_range);
+}
+
+TEST(CauseCatalog, SrvccCausesOnlyOnSrvccPath) {
+  const CauseCatalog catalog;
+  CauseContext ctx;
+  ctx.target = ObservedRat::kG3;
+  ctx.srvcc_attempt = false;
+  const auto w = catalog.weights(ctx);
+  EXPECT_EQ(w[5], 0.0);  // #6
+  EXPECT_EQ(w[6], 0.0);  // #7
+  ctx.srvcc_attempt = true;
+  ctx.srvcc_subscribed = false;
+  const auto w2 = catalog.weights(ctx);
+  EXPECT_GT(w2[5], 100.0);  // #6 dominates when unsubscribed
+  ctx.srvcc_subscribed = true;
+  const auto w3 = catalog.weights(ctx);
+  EXPECT_EQ(w3[5], 0.0);
+  EXPECT_GT(w3[6], 0.0);
+}
+
+TEST(CauseCatalog, InvalidTargetDominatesIntraFailures) {
+  const CauseCatalog catalog;
+  util::Rng rng{1};
+  CauseContext ctx;
+  ctx.target = ObservedRat::kG45Nsa;
+  std::array<int, 10> counts{};
+  constexpr int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const CauseId c = catalog.sample(ctx, rng);
+    ++counts[is_dominant_cause(c) ? c : 9];
+  }
+  // #3 is the top intra cause; the tail stays under ~12%.
+  for (int c = 1; c <= 8; ++c) {
+    if (c == 3) continue;
+    EXPECT_GT(counts[3], counts[c]);
+  }
+  EXPECT_LT(counts[9] / static_cast<double>(n), 0.15);
+}
+
+TEST(CauseCatalog, OverloadBoostsCause4) {
+  const CauseCatalog catalog;
+  CauseContext calm;
+  calm.target = ObservedRat::kG3;
+  CauseContext busy = calm;
+  busy.overload = 0.5;
+  busy.hour = 8;
+  EXPECT_GT(catalog.weights(busy)[3], 2.0 * catalog.weights(calm)[3]);
+}
+
+TEST(CauseCatalog, M2mProfilesSkewToConfigurationCauses) {
+  const CauseCatalog catalog;
+  CauseContext phone;
+  phone.target = ObservedRat::kG45Nsa;
+  phone.device = devices::DeviceType::kSmartphone;
+  CauseContext meter = phone;
+  meter.device = devices::DeviceType::kM2mIot;
+  EXPECT_NEAR(catalog.weights(meter)[2] / catalog.weights(phone)[2], 2.5, 1e-9);
+  EXPECT_NEAR(catalog.weights(meter)[7] / catalog.weights(phone)[7], 3.0, 1e-9);
+}
+
+TEST(CauseCatalog, TailSamplesManyDistinctCauses) {
+  const CauseCatalog catalog;
+  util::Rng rng{2};
+  CauseContext ctx;
+  ctx.target = ObservedRat::kG3;
+  std::set<CauseId> tail_seen;
+  for (int i = 0; i < 100'000; ++i) {
+    const CauseId c = catalog.sample(ctx, rng);
+    if (!is_dominant_cause(c)) tail_seen.insert(c);
+  }
+  EXPECT_GT(tail_seen.size(), 50u);
+}
+
+TEST(DurationModel, SuccessMediansMatchFig8) {
+  const DurationModel dm;
+  util::Rng rng{3};
+  for (const auto rat : {ObservedRat::kG45Nsa, ObservedRat::kG3, ObservedRat::kG2}) {
+    std::vector<double> samples;
+    for (int i = 0; i < 40'000; ++i) samples.push_back(dm.success_duration_ms(rat, rng));
+    std::sort(samples.begin(), samples.end());
+    const auto calib = DurationModel::success_calibration(rat);
+    EXPECT_NEAR(samples[samples.size() / 2], calib.median_ms, calib.median_ms * 0.05);
+    EXPECT_NEAR(samples[static_cast<std::size_t>(samples.size() * 0.95)], calib.p95_ms,
+                calib.p95_ms * 0.07);
+  }
+}
+
+TEST(DurationModel, AbortCausesTakeZeroTime) {
+  const DurationModel dm;
+  util::Rng rng{4};
+  EXPECT_EQ(dm.failure_duration_ms(kCause3InvalidTargetId, rng), 0.0);
+  EXPECT_EQ(dm.failure_duration_ms(kCause6SrvccNotSubscribed, rng), 0.0);
+}
+
+TEST(DurationModel, TimeoutCauseTakesTenSeconds) {
+  const DurationModel dm;
+  util::Rng rng{5};
+  std::vector<double> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    samples.push_back(dm.failure_duration_ms(kCause8RelocationTimeout, rng));
+  }
+  std::sort(samples.begin(), samples.end());
+  EXPECT_GT(samples[samples.size() / 2], 10'000.0);
+  EXPECT_LT(samples[static_cast<std::size_t>(samples.size() * 0.95)], 10'300.0);
+}
+
+// --- State machine -----------------------------------------------------------
+
+struct Machinery {
+  FailureModel failure_model;
+  DurationModel durations;
+  CauseCatalog causes;
+  HandoverProcedure procedure{failure_model, durations, causes};
+  CoreNetwork core;
+  devices::Ue ue;
+
+  Machinery() {
+    ue.id = 1;
+    ue.hof_multiplier = 1.0f;
+    ue.srvcc_subscribed = true;
+  }
+
+  HoAttempt attempt(ObservedRat target) {
+    HoAttempt a;
+    a.ue = &ue;
+    a.source_sector = 10;
+    a.target_sector = 20;
+    a.target_rat = target;
+    a.time = util::SimCalendar::at(1, 9.0);
+    return a;
+  }
+};
+
+std::vector<MessageType> types_of(const MessageTrace& trace) {
+  std::vector<MessageType> out;
+  for (const auto& m : trace) out.push_back(m.type);
+  return out;
+}
+
+TEST(StateMachine, SuccessfulIntraHoEmitsFig1Sequence) {
+  Machinery m;
+  // Force success: zero failure probability via zero UE multiplier.
+  m.ue.hof_multiplier = 0.0f;
+  util::Rng rng{6};
+  MessageTrace trace;
+  const auto outcome = m.procedure.execute(m.attempt(ObservedRat::kG45Nsa), m.core, rng,
+                                           &trace);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.cause, kCauseNone);
+  const auto seq = types_of(trace);
+  const std::vector<MessageType> expected{
+      MessageType::kMeasurementReport, MessageType::kHoDecision,
+      MessageType::kHoRequired,        MessageType::kHoRequest,
+      MessageType::kHoRequestAck,      MessageType::kHoCommand,
+      MessageType::kRachPreamble,      MessageType::kHoConfirm,
+      MessageType::kHoNotify,          MessageType::kPathSwitchRequest,
+      MessageType::kUeContextRelease};
+  EXPECT_EQ(seq, expected);
+  // Timestamps are nondecreasing and span the signaling time.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].time, trace[i - 1].time);
+  }
+}
+
+TEST(StateMachine, InterRatHoUsesForwardRelocation) {
+  Machinery m;
+  m.ue.hof_multiplier = 0.0f;
+  util::Rng rng{7};
+  MessageTrace trace;
+  m.procedure.execute(m.attempt(ObservedRat::kG3), m.core, rng, &trace);
+  const auto seq = types_of(trace);
+  EXPECT_NE(std::find(seq.begin(), seq.end(), MessageType::kForwardRelocationRequest),
+            seq.end());
+  EXPECT_NE(std::find(seq.begin(), seq.end(), MessageType::kForwardRelocationComplete),
+            seq.end());
+  EXPECT_EQ(std::find(seq.begin(), seq.end(), MessageType::kPathSwitchRequest), seq.end());
+}
+
+TEST(StateMachine, UnsubscribedSrvccAlwaysFailsWithCause6) {
+  Machinery m;
+  m.ue.srvcc_subscribed = false;
+  util::Rng rng{8};
+  for (int i = 0; i < 50; ++i) {
+    auto attempt = m.attempt(ObservedRat::kG3);
+    attempt.srvcc = true;
+    MessageTrace trace;
+    const auto outcome = m.procedure.execute(attempt, m.core, rng, &trace);
+    EXPECT_FALSE(outcome.success);
+    EXPECT_EQ(outcome.cause, kCause6SrvccNotSubscribed);
+    EXPECT_EQ(outcome.duration_ms, 0.0);
+    // Truncated right after HO Required, plus the failure indication.
+    EXPECT_EQ(trace.back().type, MessageType::kHoFailureIndication);
+    trace.pop_back();
+    EXPECT_EQ(trace.back().type, MessageType::kHoRequired);
+    trace.clear();
+  }
+}
+
+TEST(StateMachine, FailureTruncationMatchesCause) {
+  Machinery m;
+  m.ue.hof_multiplier = 1e9f;  // force failure (clamped to 0.92) eventually
+  util::Rng rng{9};
+  int failures = 0;
+  for (int i = 0; i < 400 && failures < 50; ++i) {
+    MessageTrace trace;
+    const auto outcome =
+        m.procedure.execute(m.attempt(ObservedRat::kG3), m.core, rng, &trace);
+    if (outcome.success) continue;
+    ++failures;
+    const auto seq = types_of(trace);
+    switch (outcome.cause) {
+      case kCause3InvalidTargetId:
+        EXPECT_EQ(seq[seq.size() - 2], MessageType::kHoRequired);
+        break;
+      case kCause4TargetLoadTooHigh:
+        EXPECT_EQ(seq[seq.size() - 2], MessageType::kHoRequest);
+        break;
+      case kCause1SourceCancelled:
+        EXPECT_EQ(seq.back(), MessageType::kHoCancel);
+        break;
+      case kCause2InterferingInitialUe:
+        EXPECT_EQ(seq.back(), MessageType::kS1apInitialUeMessage);
+        break;
+      case kCause8RelocationTimeout:
+        EXPECT_EQ(seq[seq.size() - 2], MessageType::kHoConfirm);
+        break;
+      default:
+        EXPECT_EQ(seq.back(), MessageType::kHoFailureIndication);
+        break;
+    }
+  }
+  EXPECT_GE(failures, 50);
+}
+
+TEST(StateMachine, NullUeIsRejected) {
+  Machinery m;
+  util::Rng rng{10};
+  HoAttempt bad;
+  EXPECT_THROW(m.procedure.execute(bad, m.core, rng), std::invalid_argument);
+}
+
+TEST(CoreNetwork, RoutesProceduresToRegionalEntities) {
+  CoreNetwork core;
+  core.record_handover(geo::Region::kNorth, ObservedRat::kG45Nsa, true, false);
+  core.record_handover(geo::Region::kNorth, ObservedRat::kG3, false, true);
+  core.record_handover(geo::Region::kWest, ObservedRat::kG2, true, false);
+
+  EXPECT_EQ(core.mme(geo::Region::kNorth).handovers.procedures, 2u);
+  EXPECT_EQ(core.mme(geo::Region::kNorth).path_switches.procedures, 1u);
+  EXPECT_EQ(core.sgsn(geo::Region::kNorth).relocations.failures, 1u);
+  EXPECT_EQ(core.msc(geo::Region::kNorth).srvcc.procedures, 1u);
+  EXPECT_EQ(core.sgsn(geo::Region::kWest).relocations.successes, 1u);
+  EXPECT_EQ(core.total_handovers(), 3u);
+  EXPECT_NEAR(core.mme(geo::Region::kNorth).handovers.failure_rate(), 0.5, 1e-12);
+}
+
+TEST(Messages, EveryTypeHasAName) {
+  for (int t = 0; t <= static_cast<int>(MessageType::kHoFailureIndication); ++t) {
+    EXPECT_NE(to_string(static_cast<MessageType>(t)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace tl::corenet

@@ -1,0 +1,170 @@
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tl::util {
+namespace {
+
+std::vector<double> draw(const auto& dist, std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> out(n);
+  for (auto& v : out) v = dist.sample(rng);
+  return out;
+}
+
+double empirical_quantile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  return v[static_cast<std::size_t>(p * (v.size() - 1))];
+}
+
+TEST(NormalQuantile, InvertsKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.95), 1.644854, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.05), -1.644854, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232, 1e-4);
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(-0.2), std::invalid_argument);
+}
+
+TEST(LogNormal, FromMedianP95RecoversTargets) {
+  const LogNormal d = LogNormal::from_median_p95(43.0, 90.0);
+  EXPECT_NEAR(d.median(), 43.0, 1e-9);
+  EXPECT_NEAR(d.quantile(0.95), 90.0, 1e-6);
+}
+
+TEST(LogNormal, SampledQuantilesMatchAnalytic) {
+  const LogNormal d = LogNormal::from_median_p95(412.0, 1050.0);
+  const auto samples = draw(d, 200'000, 31);
+  EXPECT_NEAR(empirical_quantile(samples, 0.50), 412.0, 412.0 * 0.03);
+  EXPECT_NEAR(empirical_quantile(samples, 0.95), 1050.0, 1050.0 * 0.04);
+}
+
+TEST(LogNormal, RejectsBadCalibration) {
+  EXPECT_THROW(LogNormal::from_median_p95(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal::from_median_p95(10.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal::from_median_p95(10.0, 5.0), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOneAndDecreases) {
+  const Zipf z{100, 1.1};
+  double total = 0.0;
+  double prev = 1.0;
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    const double p = z.pmf(k);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_THROW(z.pmf(100), std::out_of_range);
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  const Zipf z{10, 1.0};
+  Rng rng{33};
+  std::vector<int> counts(10, 0);
+  constexpr int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), z.pmf(k), 0.01);
+  }
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument); }
+
+TEST(TruncatedNormal, StaysWithinBounds) {
+  const TruncatedNormal t{0.0, 5.0, -1.0, 2.0};
+  Rng rng{35};
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = t.sample(rng);
+    ASSERT_GE(x, -1.0);
+    ASSERT_LE(x, 2.0);
+  }
+}
+
+TEST(TruncatedNormal, DegenerateWindowFallsBackToClamp) {
+  // Window far into the tail: rejection gives up and clamps to the edge.
+  const TruncatedNormal t{0.0, 0.1, 50.0, 51.0};
+  Rng rng{37};
+  const double x = t.sample(rng);
+  EXPECT_GE(x, 50.0);
+  EXPECT_LE(x, 51.0);
+}
+
+TEST(DiscreteSampler, MatchesProbabilities) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  const DiscreteSampler s{w};
+  EXPECT_NEAR(s.probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(s.probability(3), 0.4, 1e-12);
+  Rng rng{39};
+  std::vector<int> counts(4, 0);
+  constexpr int n = 400'000;
+  for (int i = 0; i < n; ++i) ++counts[s.sample(rng)];
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), s.probability(k), 0.005);
+  }
+}
+
+TEST(DiscreteSampler, HandlesZeroWeightCategories) {
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  const DiscreteSampler s{w};
+  Rng rng{41};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, RejectsInvalidWeights) {
+  const std::vector<double> empty;
+  const std::vector<double> zeros{0.0, 0.0};
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(DiscreteSampler{empty}, std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler{zeros}, std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler{negative}, std::invalid_argument);
+}
+
+TEST(Pareto, RespectsScaleAndTail) {
+  const Pareto p{2.0, 3.0};
+  Rng rng{43};
+  double sum = 0.0;
+  constexpr int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = p.sample(rng);
+    ASSERT_GE(x, 2.0);
+    sum += x;
+  }
+  // Mean of Pareto(x_m=2, alpha=3) is alpha*x_m/(alpha-1) = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+struct LogNormalCase {
+  double median;
+  double p95;
+};
+
+class LogNormalSweep : public ::testing::TestWithParam<LogNormalCase> {};
+
+TEST_P(LogNormalSweep, CalibrationRoundTrips) {
+  const auto [median, p95] = GetParam();
+  const LogNormal d = LogNormal::from_median_p95(median, p95);
+  EXPECT_NEAR(d.median(), median, median * 1e-9);
+  EXPECT_NEAR(d.quantile(0.95), p95, p95 * 1e-6);
+  EXPECT_GT(d.mean(), d.median());  // lognormal is right-skewed
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCalibrations, LogNormalSweep,
+                         ::testing::Values(LogNormalCase{43.0, 90.0},
+                                           LogNormalCase{412.0, 1050.0},
+                                           LogNormalCase{1000.0, 3800.0},
+                                           LogNormalCase{81.0, 97.0},
+                                           LogNormalCase{10050.0, 10180.0}));
+
+}  // namespace
+}  // namespace tl::util

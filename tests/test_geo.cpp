@@ -1,0 +1,189 @@
+// Census synthesis and the spatial index.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "geo/census.hpp"
+#include "geo/spatial_index.hpp"
+#include "util/rng.hpp"
+
+namespace tl::geo {
+namespace {
+
+const Country& small_country() {
+  static const Country country = [] {
+    CensusConfig cfg;
+    cfg.districts = 80;
+    cfg.total_population = 12'000'000;
+    cfg.seed = 99;
+    return synthesize_country(cfg);
+  }();
+  return country;
+}
+
+TEST(Census, DistrictCountAndPopulation) {
+  const auto& c = small_country();
+  EXPECT_EQ(c.districts().size(), 80u);
+  // Rounding per district loses a little; total stays within 1%.
+  EXPECT_NEAR(static_cast<double>(c.total_population()), 12e6, 12e6 * 0.01);
+}
+
+TEST(Census, AreasPartitionTheCountry) {
+  const auto& c = small_country();
+  EXPECT_NEAR(c.total_area_km2(), c.width_km() * c.height_km(),
+              c.total_area_km2() * 1e-6);
+  double postcode_area = 0.0;
+  for (const auto& pc : c.postcodes()) postcode_area += pc.area_km2;
+  EXPECT_NEAR(postcode_area, c.total_area_km2(), c.total_area_km2() * 1e-6);
+}
+
+TEST(Census, RankSizeLawHolds) {
+  const auto& c = small_country();
+  // District 0 (capital centre) is the most populous.
+  for (const auto& d : c.districts()) {
+    EXPECT_LE(d.population, c.district(0).population);
+  }
+  EXPECT_EQ(c.district(0).name, "Capital-Centre");
+  EXPECT_EQ(c.district(0).region, Region::kCapital);
+}
+
+TEST(Census, UrbanCalibrationLandsNearTargets) {
+  const auto& c = small_country();
+  // Paper: urban postcodes cover 49.6% of territory and hold most people.
+  EXPECT_NEAR(c.urban_territory_share(), 0.496, 0.06);
+  EXPECT_GT(c.urban_population_share(), 0.65);
+}
+
+TEST(Census, DensitySpansOrdersOfMagnitude) {
+  const auto& c = small_country();
+  double min_density = std::numeric_limits<double>::infinity();
+  double max_density = 0.0;
+  for (const auto& d : c.districts()) {
+    min_density = std::min(min_density, d.population_density());
+    max_density = std::max(max_density, d.population_density());
+  }
+  EXPECT_GT(max_density / min_density, 100.0);
+  EXPECT_EQ(c.densest_district(), c.district(0).id);
+}
+
+TEST(Census, PostcodesBelongToTheirDistrict) {
+  const auto& c = small_country();
+  std::size_t total_postcodes = 0;
+  for (const auto& d : c.districts()) {
+    std::uint64_t pop = 0;
+    for (const PostcodeId id : d.postcodes) {
+      EXPECT_EQ(c.postcode(id).district, d.id);
+      pop += c.postcode(id).residents;
+    }
+    EXPECT_EQ(pop, d.population);
+    total_postcodes += d.postcodes.size();
+  }
+  EXPECT_EQ(total_postcodes, c.postcodes().size());
+}
+
+TEST(Census, UnreliablePostcodeShareNearThreePercent) {
+  const auto& c = small_country();
+  std::size_t unreliable = 0;
+  for (const auto& pc : c.postcodes()) {
+    if (!pc.census_reliable) ++unreliable;
+  }
+  const double share = static_cast<double>(unreliable) / c.postcodes().size();
+  EXPECT_NEAR(share, 0.031, 0.02);
+}
+
+TEST(Census, DeterministicForSeed) {
+  CensusConfig cfg;
+  cfg.districts = 30;
+  cfg.total_population = 2'000'000;
+  cfg.seed = 123;
+  const Country a = synthesize_country(cfg);
+  const Country b = synthesize_country(cfg);
+  ASSERT_EQ(a.postcodes().size(), b.postcodes().size());
+  for (std::size_t i = 0; i < a.postcodes().size(); ++i) {
+    EXPECT_EQ(a.postcodes()[i].residents, b.postcodes()[i].residents);
+    EXPECT_EQ(a.postcodes()[i].centroid, b.postcodes()[i].centroid);
+  }
+}
+
+TEST(Census, RejectsBadConfig) {
+  CensusConfig cfg;
+  cfg.districts = 5;
+  EXPECT_THROW(synthesize_country(cfg), std::invalid_argument);
+  cfg.districts = 100;
+  cfg.total_population = 100;
+  EXPECT_THROW(synthesize_country(cfg), std::invalid_argument);
+}
+
+TEST(Census, AllRegionsRepresented) {
+  const auto& c = small_country();
+  std::array<int, 4> counts{};
+  for (const auto& d : c.districts()) ++counts[static_cast<std::size_t>(d.region)];
+  for (const int n : counts) EXPECT_GT(n, 0);
+}
+
+// --- SpatialIndex ------------------------------------------------------------
+
+TEST(SpatialIndex, NearestOnEmptyIndex) {
+  const SpatialIndex idx{100.0, 100.0, 5.0};
+  EXPECT_EQ(idx.nearest({50, 50}), SpatialIndex::kNotFound);
+  EXPECT_TRUE(idx.nearest_k({50, 50}, 3).empty());
+}
+
+TEST(SpatialIndex, QueryRadiusIsExact) {
+  SpatialIndex idx{100.0, 100.0, 5.0};
+  idx.insert({10, 10}, 1);
+  idx.insert({12, 10}, 2);
+  idx.insert({40, 40}, 3);
+  const auto near = idx.query_radius({10, 10}, 3.0);
+  EXPECT_EQ(near.size(), 2u);
+  const auto all = idx.query_radius({25, 25}, 100.0);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+class SpatialIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpatialIndexProperty, NearestMatchesBruteForce) {
+  util::Rng rng{GetParam()};
+  SpatialIndex idx{200.0, 150.0, 7.0};
+  std::vector<util::GeoPoint> points;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const util::GeoPoint p{rng.uniform(0.0, 200.0), rng.uniform(0.0, 150.0)};
+    points.push_back(p);
+    idx.insert(p, i);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const util::GeoPoint q{rng.uniform(0.0, 200.0), rng.uniform(0.0, 150.0)};
+    const std::uint32_t got = idx.nearest(q);
+    double best = std::numeric_limits<double>::infinity();
+    std::uint32_t want = 0;
+    for (std::uint32_t i = 0; i < points.size(); ++i) {
+      const double d = util::squared_distance_km2(points[i], q);
+      if (d < best) {
+        best = d;
+        want = i;
+      }
+    }
+    // Ties allowed: the found point must match the brute-force distance.
+    EXPECT_NEAR(util::squared_distance_km2(points[got], q),
+                util::squared_distance_km2(points[want], q), 1e-9);
+  }
+}
+
+TEST_P(SpatialIndexProperty, NearestKIsSortedAndComplete) {
+  util::Rng rng{GetParam() ^ 0xabcd};
+  SpatialIndex idx{100.0, 100.0, 4.0};
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    idx.insert({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)}, i);
+  }
+  const util::GeoPoint q{50, 50};
+  const auto k5 = idx.nearest_k(q, 5);
+  ASSERT_EQ(k5.size(), 5u);
+  EXPECT_EQ(k5.front(), idx.nearest(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialIndexProperty, ::testing::Values(1u, 7u, 1234u));
+
+}  // namespace
+}  // namespace tl::geo

@@ -1,0 +1,152 @@
+// Property tests over the HO state machine: for every combination of
+// target RAT, SRVCC, and EN-DC, across many seeds, the signaling ladder
+// must satisfy the Fig. 1 invariants.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core_network/ho_state_machine.hpp"
+
+namespace tl::corenet {
+namespace {
+
+using topology::ObservedRat;
+
+struct Flavor {
+  ObservedRat target;
+  bool srvcc;
+  bool endc;
+};
+
+class HoLadderProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {  // (flavor, seed)
+ protected:
+  static constexpr Flavor kFlavors[] = {
+      {ObservedRat::kG45Nsa, false, false}, {ObservedRat::kG45Nsa, false, true},
+      {ObservedRat::kG3, false, false},     {ObservedRat::kG3, true, false},
+      {ObservedRat::kG2, false, false},
+  };
+
+  Flavor flavor() const { return kFlavors[std::get<0>(GetParam())]; }
+  std::uint64_t seed() const { return static_cast<std::uint64_t>(std::get<1>(GetParam())); }
+};
+
+TEST_P(HoLadderProperty, LadderInvariantsHold) {
+  FailureModel failure_model;
+  DurationModel durations;
+  CauseCatalog causes;
+  HandoverProcedure procedure{failure_model, durations, causes};
+  CoreNetwork core;
+
+  devices::Ue ue;
+  ue.id = 9;
+  ue.srvcc_subscribed = true;
+  ue.hof_multiplier = 3.0f;  // get a healthy mix of successes and failures
+
+  util::Rng rng{seed()};
+  const Flavor f = flavor();
+  for (int i = 0; i < 300; ++i) {
+    HoAttempt attempt;
+    attempt.ue = &ue;
+    attempt.source_sector = 5;
+    attempt.target_sector = 6;
+    attempt.target_rat = f.target;
+    attempt.srvcc = f.srvcc;
+    attempt.endc = f.endc;
+    attempt.time = util::SimCalendar::at(i % 7, 0.5 + (i % 40) * 0.5);
+
+    MessageTrace trace;
+    const HoOutcome outcome = procedure.execute(attempt, core, rng, &trace);
+
+    // 1. Every procedure starts with a Measurement Report, then a decision.
+    ASSERT_GE(trace.size(), 3u);
+    EXPECT_EQ(trace[0].type, MessageType::kMeasurementReport);
+    EXPECT_EQ(trace[1].type, MessageType::kHoDecision);
+    EXPECT_EQ(trace[2].type, MessageType::kHoRequired);
+
+    // 2. Timestamps are nondecreasing and span exactly the signaling time.
+    for (std::size_t m = 1; m < trace.size(); ++m) {
+      EXPECT_GE(trace[m].time, trace[m - 1].time);
+    }
+    EXPECT_NEAR(static_cast<double>(trace.back().time - trace.front().time),
+                outcome.duration_ms, 1.5);
+
+    // 3. Success ends in UE Context Release; failure never does.
+    if (outcome.success) {
+      EXPECT_EQ(trace.back().type, MessageType::kUeContextRelease);
+      EXPECT_EQ(outcome.cause, kCauseNone);
+    } else {
+      EXPECT_NE(trace.back().type, MessageType::kUeContextRelease);
+      EXPECT_NE(outcome.cause, kCauseNone);
+      EXPECT_GE(outcome.duration_ms, 0.0);
+    }
+
+    // 4. Inter-RAT flavors use Forward Relocation, never Path Switch;
+    //    intra flavors the other way around (on success).
+    bool has_fwd = false, has_path_switch = false, has_sgnb = false;
+    for (const auto& m : trace) {
+      has_fwd |= m.type == MessageType::kForwardRelocationRequest;
+      has_path_switch |= m.type == MessageType::kPathSwitchRequest;
+      has_sgnb |= m.type == MessageType::kSgNbReleaseRequest ||
+                  m.type == MessageType::kSgNbAdditionRequest;
+    }
+    if (f.target != ObservedRat::kG45Nsa) {
+      EXPECT_FALSE(has_path_switch);
+      if (outcome.success) EXPECT_TRUE(has_fwd);
+    } else if (outcome.success) {
+      EXPECT_TRUE(has_path_switch);
+      EXPECT_FALSE(has_fwd);
+    }
+
+    // 5. SgNB legs appear only on EN-DC procedures.
+    if (!f.endc) EXPECT_FALSE(has_sgnb);
+    if (f.endc && outcome.success) EXPECT_TRUE(has_sgnb);
+
+    // 6. Every message carries the attempt's sector pair.
+    for (const auto& m : trace) {
+      EXPECT_EQ(m.source_sector, attempt.source_sector);
+      EXPECT_EQ(m.target_sector, attempt.target_sector);
+    }
+  }
+}
+
+TEST_P(HoLadderProperty, CausesStayConsistentWithFlavor) {
+  FailureModel failure_model;
+  DurationModel durations;
+  CauseCatalog causes;
+  HandoverProcedure procedure{failure_model, durations, causes};
+  CoreNetwork core;
+
+  devices::Ue ue;
+  ue.id = 10;
+  ue.srvcc_subscribed = true;
+  ue.hof_multiplier = 1e6f;  // force failures
+
+  util::Rng rng{seed() ^ 0x55};
+  const Flavor f = flavor();
+  for (int i = 0; i < 200; ++i) {
+    HoAttempt attempt;
+    attempt.ue = &ue;
+    attempt.target_rat = f.target;
+    attempt.srvcc = f.srvcc;
+    attempt.endc = f.endc;
+    attempt.time = util::SimCalendar::at(0, 10.0);
+    const HoOutcome outcome = procedure.execute(attempt, core, rng);
+    if (outcome.success) continue;
+    // SRVCC-specific causes require the SRVCC path.
+    if (!f.srvcc) {
+      EXPECT_NE(outcome.cause, kCause6SrvccNotSubscribed);
+      EXPECT_NE(outcome.cause, kCause7PsToCsFailure);
+    }
+    // The cause is always describable.
+    EXPECT_FALSE(causes.description(outcome.cause).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlavorsAndSeeds, HoLadderProperty,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(1, 99)));
+
+}  // namespace
+}  // namespace tl::corenet

@@ -1,0 +1,254 @@
+// Mobility classes, activity curves, trace generation, and metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/catalog.hpp"
+#include "geo/census.hpp"
+#include "mobility/activity.hpp"
+#include "mobility/metrics.hpp"
+#include "mobility/trace_generator.hpp"
+
+namespace tl::mobility {
+namespace {
+
+const geo::Country& country() {
+  static const geo::Country c = [] {
+    geo::CensusConfig cc;
+    cc.districts = 40;
+    cc.total_population = 5'000'000;
+    cc.seed = 3;
+    return geo::synthesize_country(cc);
+  }();
+  return c;
+}
+
+const ActivityModel& activity() {
+  static const ActivityModel m;
+  return m;
+}
+
+devices::Ue make_ue(devices::DeviceType type, topology::RatSupport support,
+                    devices::UeId id = 1) {
+  devices::Ue ue;
+  ue.id = id;
+  ue.type = type;
+  ue.rat_support = support;
+  ue.home_postcode = 0;
+  ue.ho_rate_multiplier = 1.0f;
+  return ue;
+}
+
+TEST(MobilityClass, MixesAreDistributions) {
+  for (const auto type : devices::kAllDeviceTypes) {
+    for (const bool modern : {false, true}) {
+      const auto mix = mobility_mix(type, modern);
+      double sum = 0.0;
+      for (const double p : mix) {
+        EXPECT_GE(p, 0.0);
+        sum += p;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(MobilityClass, LegacyM2mIsOverwhelminglyStatic) {
+  util::Rng rng{11};
+  int stationary = 0;
+  constexpr int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_mobility_class(devices::DeviceType::kM2mIot,
+                              topology::RatSupport::kUpTo2G,
+                              rng) == MobilityClass::kStationary) {
+      ++stationary;
+    }
+  }
+  EXPECT_NEAR(stationary / static_cast<double>(n), 0.70, 0.02);
+}
+
+TEST(Activity, WeekdayShapeMatchesPaper) {
+  const auto& curve = activity().curve(DayShape::kWeekday, geo::AreaType::kUrban);
+  // Peak at 08:00-08:30 (bin 16).
+  for (int b = 0; b < 48; ++b) EXPECT_LE(curve[b], curve[16] + 1e-12);
+  // x3 ramp between 06:00 (bin 12) and 08:00 (bin 16).
+  EXPECT_GT(curve[16] / curve[12], 2.5);
+  // Second (lower) peak at 15:00 (bin 30) above its midday surroundings.
+  EXPECT_GT(curve[30], curve[26]);
+  EXPECT_LT(curve[30], curve[16]);
+  // ~11% decline per 30 minutes after the afternoon peak.
+  EXPECT_NEAR(curve[31] / curve[30], 0.89, 1e-9);
+  // Night minimum in 02:00-03:30 (bins 4-7).
+  double min_v = 1e9;
+  int min_bin = -1;
+  for (int b = 0; b < 48; ++b) {
+    if (curve[b] < min_v) {
+      min_v = curve[b];
+      min_bin = b;
+    }
+  }
+  EXPECT_GE(min_bin, 4);
+  EXPECT_LE(min_bin, 7);
+}
+
+TEST(Activity, SundayPeakIsAboutAThirdBelowWeekday) {
+  const auto& weekday = activity().curve(DayShape::kWeekday, geo::AreaType::kUrban);
+  const auto& sunday = activity().curve(DayShape::kSunday, geo::AreaType::kUrban);
+  double wmax = 0, smax = 0;
+  int s_argmax = 0;
+  for (int b = 0; b < 48; ++b) {
+    wmax = std::max(wmax, weekday[b]);
+    if (sunday[b] > smax) {
+      smax = sunday[b];
+      s_argmax = b;
+    }
+  }
+  EXPECT_NEAR(smax / wmax, 0.67, 0.03);
+  // Weekend single peak lands in 12:00-13:00 (bins 24-25).
+  EXPECT_GE(s_argmax, 24);
+  EXPECT_LE(s_argmax, 25);
+}
+
+TEST(Activity, RuralCurveIsFlatterSameMass) {
+  const auto& urban = activity().curve(DayShape::kWeekday, geo::AreaType::kUrban);
+  const auto& rural = activity().curve(DayShape::kWeekday, geo::AreaType::kRural);
+  double urban_range = 0, rural_range = 0;
+  for (int b = 0; b < 48; ++b) {
+    urban_range = std::max(urban_range, urban[b]);
+    rural_range = std::max(rural_range, rural[b]);
+  }
+  EXPECT_LT(rural_range, urban_range);
+}
+
+TEST(Activity, SampledTimesFollowTheCurve) {
+  util::Rng rng{13};
+  std::array<int, 48> counts{};
+  constexpr int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const auto t = activity().sample_event_time(0, geo::AreaType::kUrban, rng);
+    EXPECT_EQ(util::SimCalendar::day_index(t), 0);
+    ++counts[util::SimCalendar::half_hour_bin(t)];
+  }
+  // Peak bin should collect roughly weight(16)/sum of the mass.
+  const auto& curve = activity().curve(DayShape::kWeekday, geo::AreaType::kUrban);
+  double total = 0;
+  for (const double v : curve) total += v;
+  EXPECT_NEAR(counts[16] / static_cast<double>(n), curve[16] / total, 0.004);
+  EXPECT_GT(counts[16], counts[5] * 3);
+}
+
+TEST(TraceGenerator, PlansAreStableAndTyped) {
+  const TraceGenerator gen{country(), activity(), 77};
+  const auto ue = make_ue(devices::DeviceType::kSmartphone, topology::RatSupport::kUpTo5G);
+  const UePlan a = gen.plan_for(ue);
+  const UePlan b = gen.plan_for(ue);
+  EXPECT_EQ(a.mobility_class, b.mobility_class);
+  EXPECT_EQ(a.home, b.home);
+  EXPECT_EQ(a.work, b.work);
+  EXPECT_NEAR(a.depart_home_h, b.depart_home_h, 1e-12);
+}
+
+TEST(TraceGenerator, TracesAreSortedWithinDay) {
+  const TraceGenerator gen{country(), activity(), 77};
+  const auto ue = make_ue(devices::DeviceType::kSmartphone, topology::RatSupport::kUpTo5G);
+  const UePlan plan = gen.plan_for(ue);
+  const auto trace = gen.generate(ue, plan, 2);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].time, trace[i].time);
+  }
+  for (const auto& ev : trace) {
+    EXPECT_EQ(util::SimCalendar::day_index(ev.time), 2);
+    EXPECT_GE(ev.position.x_km, 0.0);
+    EXPECT_LE(ev.position.x_km, country().width_km());
+  }
+}
+
+TEST(TraceGenerator, WeekendsCarryFewerEvents) {
+  const TraceGenerator gen{country(), activity(), 77};
+  const auto ue = make_ue(devices::DeviceType::kSmartphone, topology::RatSupport::kUpTo5G);
+  const UePlan plan = gen.plan_for(ue);
+  std::size_t weekday_events = 0, sunday_events = 0;
+  for (int week = 0; week < 4; ++week) {
+    weekday_events += gen.generate(ue, plan, week * 7 + 4).size();  // Fridays
+    sunday_events += gen.generate(ue, plan, week * 7 + 6).size();   // Sundays
+  }
+  EXPECT_LT(sunday_events, weekday_events);
+}
+
+TEST(TraceGenerator, StationaryUeStaysHome) {
+  const TraceGenerator gen{country(), activity(), 77};
+  // Legacy M2M: overwhelmingly stationary; find one.
+  for (devices::UeId id = 0; id < 200; ++id) {
+    auto ue = make_ue(devices::DeviceType::kM2mIot, topology::RatSupport::kUpTo2G, id);
+    const UePlan plan = gen.plan_for(ue);
+    if (plan.mobility_class != MobilityClass::kStationary) continue;
+    const auto trace = gen.generate(ue, plan, 1);
+    for (const auto& ev : trace) {
+      EXPECT_LT(util::distance_km(ev.position, plan.home), 1.0);
+    }
+    return;
+  }
+  FAIL() << "no stationary UE found in 200 draws";
+}
+
+TEST(TraceGenerator, HighSpeedCoversTheRoute) {
+  const TraceGenerator gen{country(), activity(), 177};
+  for (devices::UeId id = 0; id < 3000; ++id) {
+    auto ue = make_ue(devices::DeviceType::kSmartphone, topology::RatSupport::kUpTo5G, id);
+    const UePlan plan = gen.plan_for(ue);
+    if (plan.mobility_class != MobilityClass::kHighSpeed) continue;
+    const auto trace = gen.generate(ue, plan, 1);
+    double max_dist = 0.0;
+    for (const auto& ev : trace) {
+      max_dist = std::max(max_dist, util::distance_km(ev.position, plan.home));
+    }
+    EXPECT_GT(max_dist, 50.0);
+    return;
+  }
+  FAIL() << "no high-speed UE found";
+}
+
+TEST(Metrics, GyrationOfSinglePointIsZero) {
+  const std::vector<util::GeoPoint> pts{{10, 10}};
+  const std::vector<double> dwell{100.0};
+  EXPECT_EQ(radius_of_gyration(pts, dwell), 0.0);
+  EXPECT_EQ(radius_of_gyration({}, {}), 0.0);
+}
+
+TEST(Metrics, GyrationOfSymmetricPairIsHalfDistance) {
+  const std::vector<util::GeoPoint> pts{{0, 0}, {10, 0}};
+  const std::vector<double> dwell{1.0, 1.0};
+  EXPECT_NEAR(radius_of_gyration(pts, dwell), 5.0, 1e-12);
+}
+
+TEST(Metrics, GyrationWeightsByDwell) {
+  const std::vector<util::GeoPoint> pts{{0, 0}, {10, 0}};
+  const std::vector<double> uneven{9.0, 1.0};
+  // cm at (1, 0); g = sqrt(0.9*1 + 0.1*81) = 3.
+  EXPECT_NEAR(radius_of_gyration(pts, uneven), 3.0, 1e-12);
+}
+
+TEST(Metrics, RejectsBadInput) {
+  EXPECT_THROW(radius_of_gyration(std::vector<util::GeoPoint>{{0, 0}},
+                                  std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(radius_of_gyration(std::vector<util::GeoPoint>{{0, 0}},
+                                  std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, BuilderCountsDistinctSectors) {
+  MobilityMetricsBuilder b;
+  EXPECT_TRUE(b.empty());
+  b.add_visit(1, {0, 0}, 10);
+  b.add_visit(2, {1, 0}, 10);
+  b.add_visit(1, {0, 0}, 10);
+  EXPECT_EQ(b.distinct_sectors(), 2u);
+  EXPECT_GT(b.radius_of_gyration_km(), 0.0);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace tl::mobility

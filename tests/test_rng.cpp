@@ -1,0 +1,159 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{123}, b{124};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{9};
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform(-3.5, 8.25);
+    ASSERT_GE(v, -3.5);
+    ASSERT_LT(v, 8.25);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAndBounded) {
+  Rng rng{11};
+  constexpr std::uint64_t n = 7;
+  std::vector<std::uint64_t> counts(n, 0);
+  constexpr int draws = 140'000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = rng.below(n);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 7.0, draws * 0.01);
+  }
+}
+
+TEST(Rng, BelowEdgeCases) {
+  Rng rng{13};
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng{15};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{17};
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng{19};
+  double sum = 0.0;
+  constexpr int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{21};
+  double sum = 0.0;
+  constexpr int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{23};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, DeriveIsDeterministicAndIndependent) {
+  Rng a = Rng::derive(99, 1, 2, 3);
+  Rng b = Rng::derive(99, 1, 2, 3);
+  Rng c = Rng::derive(99, 1, 2, 4);
+  EXPECT_EQ(a(), b());
+  // Adjacent salts must decorrelate.
+  Rng a2 = Rng::derive(99, 1, 2, 3);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a2() == c()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, MeanNearHalfForAnySeed) {
+  Rng rng{GetParam()};
+  double sum = 0.0;
+  for (int i = 0; i < 50'000; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / 50'000, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, DeriveChildrenAreDecorrelated) {
+  Rng child0 = Rng::derive(GetParam(), 0);
+  Rng child1 = Rng::derive(GetParam(), 1);
+  int equal = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (child0() == child1()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace tl::util

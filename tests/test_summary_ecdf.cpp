@@ -1,0 +1,171 @@
+// Summaries, ECDFs, histograms, and correlation measures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/correlation.hpp"
+#include "analysis/ecdf.hpp"
+#include "analysis/histogram.hpp"
+#include "analysis/summary.hpp"
+
+namespace tl::analysis {
+namespace {
+
+TEST(Summary, QuantilesOfKnownData) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_NEAR(quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 1.0), 10.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.5), 5.5, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.25), 3.25, 1e-12);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.5), std::invalid_argument);
+}
+
+TEST(Summary, SixNumberSummaryMatchesR) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.mean, 5.0, 1e-12);
+  EXPECT_NEAR(s.median, 4.5, 1e-12);
+  EXPECT_NEAR(s.q1, 4.0, 1e-12);
+  EXPECT_NEAR(s.q3, 5.5, 1e-12);
+}
+
+TEST(Summary, BoxplotWhiskersAndOutliers) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 100};
+  const auto b = boxplot(v);
+  EXPECT_EQ(b.n, 9u);
+  EXPECT_EQ(b.outliers, 1u);       // the 100
+  EXPECT_EQ(b.whisker_hi, 8.0);    // largest point inside the fence
+  EXPECT_EQ(b.whisker_lo, 1.0);
+}
+
+TEST(Summary, LogTransformDropsNonPositive) {
+  const std::vector<double> v{0.0, -1.0, std::exp(1.0), std::exp(2.0)};
+  const auto out = log_transform_positive(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0], 1.0, 1e-12);
+  EXPECT_NEAR(out[1], 2.0, 1e-12);
+}
+
+TEST(Ecdf, StepFunctionSemantics) {
+  const std::vector<double> v{1.0, 2.0, 2.0, 3.0};
+  const Ecdf e{v};
+  EXPECT_EQ(e.at(0.5), 0.0);
+  EXPECT_EQ(e.at(1.0), 0.25);
+  EXPECT_EQ(e.at(2.0), 0.75);
+  EXPECT_EQ(e.at(3.0), 1.0);
+  EXPECT_EQ(e.at(99.0), 1.0);
+}
+
+TEST(Ecdf, InverseIsLeftContinuousQuantile) {
+  const std::vector<double> v{10, 20, 30, 40};
+  const Ecdf e{v};
+  EXPECT_EQ(e.inverse(0.25), 10.0);
+  EXPECT_EQ(e.inverse(0.26), 20.0);
+  EXPECT_EQ(e.inverse(1.0), 40.0);
+  EXPECT_THROW(e.inverse(0.0), std::invalid_argument);
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(std::sin(i) * 50.0);
+  const Ecdf e{v};
+  const auto curve = e.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].x, curve[i - 1].x);
+    EXPECT_GE(curve[i].f, curve[i - 1].f);
+  }
+  EXPECT_NEAR(curve.back().f, 1.0, 1e-12);
+}
+
+TEST(Histogram, LinearBinning) {
+  auto h = Histogram::linear(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.99);
+  h.add(2.0);
+  h.add(9.99);
+  h.add(10.0);   // top edge counts into the last bin
+  h.add(-0.1);   // underflow
+  h.add(10.01);  // overflow
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bins()[0].count, 2u);
+  EXPECT_EQ(h.bins()[1].count, 1u);
+  EXPECT_EQ(h.bins()[4].count, 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, LogBinningCoversDecades) {
+  auto h = Histogram::logarithmic(1.0, 1000.0, 3);
+  EXPECT_EQ(h.bin_index(5.0), 0u);
+  EXPECT_EQ(h.bin_index(50.0), 1u);
+  EXPECT_EQ(h.bin_index(500.0), 2u);
+  EXPECT_EQ(h.bin_index(0.5), Histogram::npos);
+  EXPECT_THROW(Histogram::logarithmic(0.0, 10.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, GroupByBins) {
+  auto h = Histogram::linear(0.0, 3.0, 3);
+  const std::vector<double> x{0.5, 1.5, 1.6, 2.5};
+  const std::vector<double> y{10, 20, 30, 40};
+  const auto groups = group_by_bins(h, x, y);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], std::vector<double>{10});
+  EXPECT_EQ(groups[1], (std::vector<double>{20, 30}));
+  EXPECT_EQ(groups[2], std::vector<double>{40});
+}
+
+TEST(Correlation, PerfectLinearRelations) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  std::vector<double> neg{-1, -2, -3, -4, -5};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+  EXPECT_THROW(pearson(x, std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(pearson(x, std::vector<double>(5, 3.0)), std::invalid_argument);
+}
+
+TEST(Correlation, SpearmanIsRankBased) {
+  // Monotone but nonlinear: Spearman 1, Pearson < 1.
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, SimpleFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.5 * i);
+  }
+  const auto fit = simple_linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Correlation, RSquaredDropsWithNoise) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(i + ((i * 2654435761u) % 97) * 2.0);  // deterministic noise
+  }
+  const auto fit = simple_linear_fit(x, y);
+  EXPECT_GT(fit.r_squared, 0.5);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+}  // namespace
+}  // namespace tl::analysis
