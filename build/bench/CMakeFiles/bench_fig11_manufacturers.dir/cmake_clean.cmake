@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_manufacturers.dir/bench_fig11_manufacturers.cpp.o"
+  "CMakeFiles/bench_fig11_manufacturers.dir/bench_fig11_manufacturers.cpp.o.d"
+  "bench_fig11_manufacturers"
+  "bench_fig11_manufacturers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_manufacturers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

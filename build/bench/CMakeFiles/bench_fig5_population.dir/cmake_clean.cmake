@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_population.dir/bench_fig5_population.cpp.o"
+  "CMakeFiles/bench_fig5_population.dir/bench_fig5_population.cpp.o.d"
+  "bench_fig5_population"
+  "bench_fig5_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_districts.dir/bench_fig6_districts.cpp.o"
+  "CMakeFiles/bench_fig6_districts.dir/bench_fig6_districts.cpp.o.d"
+  "bench_fig6_districts"
+  "bench_fig6_districts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_districts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

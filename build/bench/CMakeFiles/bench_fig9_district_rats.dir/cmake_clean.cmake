@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_district_rats.dir/bench_fig9_district_rats.cpp.o"
+  "CMakeFiles/bench_fig9_district_rats.dir/bench_fig9_district_rats.cpp.o.d"
+  "bench_fig9_district_rats"
+  "bench_fig9_district_rats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_district_rats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

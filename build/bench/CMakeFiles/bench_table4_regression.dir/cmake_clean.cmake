@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_regression.dir/bench_table4_regression.cpp.o"
+  "CMakeFiles/bench_table4_regression.dir/bench_table4_regression.cpp.o.d"
+  "bench_table4_regression"
+  "bench_table4_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

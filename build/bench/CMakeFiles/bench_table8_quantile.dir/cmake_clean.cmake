@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_quantile.dir/bench_table8_quantile.cpp.o"
+  "CMakeFiles/bench_table8_quantile.dir/bench_table8_quantile.cpp.o.d"
+  "bench_table8_quantile"
+  "bench_table8_quantile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

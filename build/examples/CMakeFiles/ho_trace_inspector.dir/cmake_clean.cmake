@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ho_trace_inspector.dir/ho_trace_inspector.cpp.o"
+  "CMakeFiles/ho_trace_inspector.dir/ho_trace_inspector.cpp.o.d"
+  "ho_trace_inspector"
+  "ho_trace_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ho_trace_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacturer_audit.dir/manufacturer_audit.cpp.o"
+  "CMakeFiles/manufacturer_audit.dir/manufacturer_audit.cpp.o.d"
+  "manufacturer_audit"
+  "manufacturer_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacturer_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

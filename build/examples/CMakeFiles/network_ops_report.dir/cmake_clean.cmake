@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_ops_report.dir/network_ops_report.cpp.o"
+  "CMakeFiles/network_ops_report.dir/network_ops_report.cpp.o.d"
+  "network_ops_report"
+  "network_ops_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_ops_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

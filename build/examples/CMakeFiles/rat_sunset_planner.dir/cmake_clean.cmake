@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rat_sunset_planner.dir/rat_sunset_planner.cpp.o"
+  "CMakeFiles/rat_sunset_planner.dir/rat_sunset_planner.cpp.o.d"
+  "rat_sunset_planner"
+  "rat_sunset_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rat_sunset_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

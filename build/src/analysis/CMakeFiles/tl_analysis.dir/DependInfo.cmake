@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/anova.cpp" "src/analysis/CMakeFiles/tl_analysis.dir/anova.cpp.o" "gcc" "src/analysis/CMakeFiles/tl_analysis.dir/anova.cpp.o.d"
+  "/root/repo/src/analysis/correlation.cpp" "src/analysis/CMakeFiles/tl_analysis.dir/correlation.cpp.o" "gcc" "src/analysis/CMakeFiles/tl_analysis.dir/correlation.cpp.o.d"
+  "/root/repo/src/analysis/ecdf.cpp" "src/analysis/CMakeFiles/tl_analysis.dir/ecdf.cpp.o" "gcc" "src/analysis/CMakeFiles/tl_analysis.dir/ecdf.cpp.o.d"
+  "/root/repo/src/analysis/histogram.cpp" "src/analysis/CMakeFiles/tl_analysis.dir/histogram.cpp.o" "gcc" "src/analysis/CMakeFiles/tl_analysis.dir/histogram.cpp.o.d"
+  "/root/repo/src/analysis/linear_model.cpp" "src/analysis/CMakeFiles/tl_analysis.dir/linear_model.cpp.o" "gcc" "src/analysis/CMakeFiles/tl_analysis.dir/linear_model.cpp.o.d"
+  "/root/repo/src/analysis/matrix.cpp" "src/analysis/CMakeFiles/tl_analysis.dir/matrix.cpp.o" "gcc" "src/analysis/CMakeFiles/tl_analysis.dir/matrix.cpp.o.d"
+  "/root/repo/src/analysis/special_functions.cpp" "src/analysis/CMakeFiles/tl_analysis.dir/special_functions.cpp.o" "gcc" "src/analysis/CMakeFiles/tl_analysis.dir/special_functions.cpp.o.d"
+  "/root/repo/src/analysis/summary.cpp" "src/analysis/CMakeFiles/tl_analysis.dir/summary.cpp.o" "gcc" "src/analysis/CMakeFiles/tl_analysis.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_analysis.dir/anova.cpp.o"
+  "CMakeFiles/tl_analysis.dir/anova.cpp.o.d"
+  "CMakeFiles/tl_analysis.dir/correlation.cpp.o"
+  "CMakeFiles/tl_analysis.dir/correlation.cpp.o.d"
+  "CMakeFiles/tl_analysis.dir/ecdf.cpp.o"
+  "CMakeFiles/tl_analysis.dir/ecdf.cpp.o.d"
+  "CMakeFiles/tl_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/tl_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/tl_analysis.dir/linear_model.cpp.o"
+  "CMakeFiles/tl_analysis.dir/linear_model.cpp.o.d"
+  "CMakeFiles/tl_analysis.dir/matrix.cpp.o"
+  "CMakeFiles/tl_analysis.dir/matrix.cpp.o.d"
+  "CMakeFiles/tl_analysis.dir/special_functions.cpp.o"
+  "CMakeFiles/tl_analysis.dir/special_functions.cpp.o.d"
+  "CMakeFiles/tl_analysis.dir/summary.cpp.o"
+  "CMakeFiles/tl_analysis.dir/summary.cpp.o.d"
+  "libtl_analysis.a"
+  "libtl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

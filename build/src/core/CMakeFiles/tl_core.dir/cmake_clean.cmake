@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_core.dir/config.cpp.o"
+  "CMakeFiles/tl_core.dir/config.cpp.o.d"
+  "CMakeFiles/tl_core.dir/control_plane.cpp.o"
+  "CMakeFiles/tl_core.dir/control_plane.cpp.o.d"
+  "CMakeFiles/tl_core.dir/hof_dataset.cpp.o"
+  "CMakeFiles/tl_core.dir/hof_dataset.cpp.o.d"
+  "CMakeFiles/tl_core.dir/home_inference.cpp.o"
+  "CMakeFiles/tl_core.dir/home_inference.cpp.o.d"
+  "CMakeFiles/tl_core.dir/qos_model.cpp.o"
+  "CMakeFiles/tl_core.dir/qos_model.cpp.o.d"
+  "CMakeFiles/tl_core.dir/report.cpp.o"
+  "CMakeFiles/tl_core.dir/report.cpp.o.d"
+  "CMakeFiles/tl_core.dir/simulator.cpp.o"
+  "CMakeFiles/tl_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/tl_core.dir/usage_model.cpp.o"
+  "CMakeFiles/tl_core.dir/usage_model.cpp.o.d"
+  "libtl_core.a"
+  "libtl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

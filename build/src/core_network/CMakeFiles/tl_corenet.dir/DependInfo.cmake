@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core_network/duration_model.cpp" "src/core_network/CMakeFiles/tl_corenet.dir/duration_model.cpp.o" "gcc" "src/core_network/CMakeFiles/tl_corenet.dir/duration_model.cpp.o.d"
+  "/root/repo/src/core_network/entities.cpp" "src/core_network/CMakeFiles/tl_corenet.dir/entities.cpp.o" "gcc" "src/core_network/CMakeFiles/tl_corenet.dir/entities.cpp.o.d"
+  "/root/repo/src/core_network/failure_causes.cpp" "src/core_network/CMakeFiles/tl_corenet.dir/failure_causes.cpp.o" "gcc" "src/core_network/CMakeFiles/tl_corenet.dir/failure_causes.cpp.o.d"
+  "/root/repo/src/core_network/failure_model.cpp" "src/core_network/CMakeFiles/tl_corenet.dir/failure_model.cpp.o" "gcc" "src/core_network/CMakeFiles/tl_corenet.dir/failure_model.cpp.o.d"
+  "/root/repo/src/core_network/ho_state_machine.cpp" "src/core_network/CMakeFiles/tl_corenet.dir/ho_state_machine.cpp.o" "gcc" "src/core_network/CMakeFiles/tl_corenet.dir/ho_state_machine.cpp.o.d"
+  "/root/repo/src/core_network/messages.cpp" "src/core_network/CMakeFiles/tl_corenet.dir/messages.cpp.o" "gcc" "src/core_network/CMakeFiles/tl_corenet.dir/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/tl_devices.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_corenet.dir/duration_model.cpp.o"
+  "CMakeFiles/tl_corenet.dir/duration_model.cpp.o.d"
+  "CMakeFiles/tl_corenet.dir/entities.cpp.o"
+  "CMakeFiles/tl_corenet.dir/entities.cpp.o.d"
+  "CMakeFiles/tl_corenet.dir/failure_causes.cpp.o"
+  "CMakeFiles/tl_corenet.dir/failure_causes.cpp.o.d"
+  "CMakeFiles/tl_corenet.dir/failure_model.cpp.o"
+  "CMakeFiles/tl_corenet.dir/failure_model.cpp.o.d"
+  "CMakeFiles/tl_corenet.dir/ho_state_machine.cpp.o"
+  "CMakeFiles/tl_corenet.dir/ho_state_machine.cpp.o.d"
+  "CMakeFiles/tl_corenet.dir/messages.cpp.o"
+  "CMakeFiles/tl_corenet.dir/messages.cpp.o.d"
+  "libtl_corenet.a"
+  "libtl_corenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_corenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

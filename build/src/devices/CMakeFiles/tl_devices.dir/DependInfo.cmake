@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/apn.cpp" "src/devices/CMakeFiles/tl_devices.dir/apn.cpp.o" "gcc" "src/devices/CMakeFiles/tl_devices.dir/apn.cpp.o.d"
+  "/root/repo/src/devices/catalog.cpp" "src/devices/CMakeFiles/tl_devices.dir/catalog.cpp.o" "gcc" "src/devices/CMakeFiles/tl_devices.dir/catalog.cpp.o.d"
+  "/root/repo/src/devices/classifier.cpp" "src/devices/CMakeFiles/tl_devices.dir/classifier.cpp.o" "gcc" "src/devices/CMakeFiles/tl_devices.dir/classifier.cpp.o.d"
+  "/root/repo/src/devices/population.cpp" "src/devices/CMakeFiles/tl_devices.dir/population.cpp.o" "gcc" "src/devices/CMakeFiles/tl_devices.dir/population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tl_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

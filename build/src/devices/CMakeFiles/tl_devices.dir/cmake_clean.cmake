@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_devices.dir/apn.cpp.o"
+  "CMakeFiles/tl_devices.dir/apn.cpp.o.d"
+  "CMakeFiles/tl_devices.dir/catalog.cpp.o"
+  "CMakeFiles/tl_devices.dir/catalog.cpp.o.d"
+  "CMakeFiles/tl_devices.dir/classifier.cpp.o"
+  "CMakeFiles/tl_devices.dir/classifier.cpp.o.d"
+  "CMakeFiles/tl_devices.dir/population.cpp.o"
+  "CMakeFiles/tl_devices.dir/population.cpp.o.d"
+  "libtl_devices.a"
+  "libtl_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/census.cpp" "src/geo/CMakeFiles/tl_geo.dir/census.cpp.o" "gcc" "src/geo/CMakeFiles/tl_geo.dir/census.cpp.o.d"
+  "/root/repo/src/geo/country.cpp" "src/geo/CMakeFiles/tl_geo.dir/country.cpp.o" "gcc" "src/geo/CMakeFiles/tl_geo.dir/country.cpp.o.d"
+  "/root/repo/src/geo/spatial_index.cpp" "src/geo/CMakeFiles/tl_geo.dir/spatial_index.cpp.o" "gcc" "src/geo/CMakeFiles/tl_geo.dir/spatial_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

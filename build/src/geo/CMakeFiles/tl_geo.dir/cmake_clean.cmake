@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_geo.dir/census.cpp.o"
+  "CMakeFiles/tl_geo.dir/census.cpp.o.d"
+  "CMakeFiles/tl_geo.dir/country.cpp.o"
+  "CMakeFiles/tl_geo.dir/country.cpp.o.d"
+  "CMakeFiles/tl_geo.dir/spatial_index.cpp.o"
+  "CMakeFiles/tl_geo.dir/spatial_index.cpp.o.d"
+  "libtl_geo.a"
+  "libtl_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/activity.cpp" "src/mobility/CMakeFiles/tl_mobility.dir/activity.cpp.o" "gcc" "src/mobility/CMakeFiles/tl_mobility.dir/activity.cpp.o.d"
+  "/root/repo/src/mobility/metrics.cpp" "src/mobility/CMakeFiles/tl_mobility.dir/metrics.cpp.o" "gcc" "src/mobility/CMakeFiles/tl_mobility.dir/metrics.cpp.o.d"
+  "/root/repo/src/mobility/mobility_class.cpp" "src/mobility/CMakeFiles/tl_mobility.dir/mobility_class.cpp.o" "gcc" "src/mobility/CMakeFiles/tl_mobility.dir/mobility_class.cpp.o.d"
+  "/root/repo/src/mobility/trace_generator.cpp" "src/mobility/CMakeFiles/tl_mobility.dir/trace_generator.cpp.o" "gcc" "src/mobility/CMakeFiles/tl_mobility.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/tl_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tl_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_mobility.dir/activity.cpp.o"
+  "CMakeFiles/tl_mobility.dir/activity.cpp.o.d"
+  "CMakeFiles/tl_mobility.dir/metrics.cpp.o"
+  "CMakeFiles/tl_mobility.dir/metrics.cpp.o.d"
+  "CMakeFiles/tl_mobility.dir/mobility_class.cpp.o"
+  "CMakeFiles/tl_mobility.dir/mobility_class.cpp.o.d"
+  "CMakeFiles/tl_mobility.dir/trace_generator.cpp.o"
+  "CMakeFiles/tl_mobility.dir/trace_generator.cpp.o.d"
+  "libtl_mobility.a"
+  "libtl_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/coverage.cpp" "src/ran/CMakeFiles/tl_ran.dir/coverage.cpp.o" "gcc" "src/ran/CMakeFiles/tl_ran.dir/coverage.cpp.o.d"
+  "/root/repo/src/ran/load.cpp" "src/ran/CMakeFiles/tl_ran.dir/load.cpp.o" "gcc" "src/ran/CMakeFiles/tl_ran.dir/load.cpp.o.d"
+  "/root/repo/src/ran/measurement.cpp" "src/ran/CMakeFiles/tl_ran.dir/measurement.cpp.o" "gcc" "src/ran/CMakeFiles/tl_ran.dir/measurement.cpp.o.d"
+  "/root/repo/src/ran/propagation.cpp" "src/ran/CMakeFiles/tl_ran.dir/propagation.cpp.o" "gcc" "src/ran/CMakeFiles/tl_ran.dir/propagation.cpp.o.d"
+  "/root/repo/src/ran/target_selection.cpp" "src/ran/CMakeFiles/tl_ran.dir/target_selection.cpp.o" "gcc" "src/ran/CMakeFiles/tl_ran.dir/target_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/tl_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/tl_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_ran.dir/coverage.cpp.o"
+  "CMakeFiles/tl_ran.dir/coverage.cpp.o.d"
+  "CMakeFiles/tl_ran.dir/load.cpp.o"
+  "CMakeFiles/tl_ran.dir/load.cpp.o.d"
+  "CMakeFiles/tl_ran.dir/measurement.cpp.o"
+  "CMakeFiles/tl_ran.dir/measurement.cpp.o.d"
+  "CMakeFiles/tl_ran.dir/propagation.cpp.o"
+  "CMakeFiles/tl_ran.dir/propagation.cpp.o.d"
+  "CMakeFiles/tl_ran.dir/target_selection.cpp.o"
+  "CMakeFiles/tl_ran.dir/target_selection.cpp.o.d"
+  "libtl_ran.a"
+  "libtl_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/aggregates.cpp" "src/telemetry/CMakeFiles/tl_telemetry.dir/aggregates.cpp.o" "gcc" "src/telemetry/CMakeFiles/tl_telemetry.dir/aggregates.cpp.o.d"
+  "/root/repo/src/telemetry/control_events.cpp" "src/telemetry/CMakeFiles/tl_telemetry.dir/control_events.cpp.o" "gcc" "src/telemetry/CMakeFiles/tl_telemetry.dir/control_events.cpp.o.d"
+  "/root/repo/src/telemetry/pingpong.cpp" "src/telemetry/CMakeFiles/tl_telemetry.dir/pingpong.cpp.o" "gcc" "src/telemetry/CMakeFiles/tl_telemetry.dir/pingpong.cpp.o.d"
+  "/root/repo/src/telemetry/sampling.cpp" "src/telemetry/CMakeFiles/tl_telemetry.dir/sampling.cpp.o" "gcc" "src/telemetry/CMakeFiles/tl_telemetry.dir/sampling.cpp.o.d"
+  "/root/repo/src/telemetry/signaling_dataset.cpp" "src/telemetry/CMakeFiles/tl_telemetry.dir/signaling_dataset.cpp.o" "gcc" "src/telemetry/CMakeFiles/tl_telemetry.dir/signaling_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/tl_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/core_network/CMakeFiles/tl_corenet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_telemetry.dir/aggregates.cpp.o"
+  "CMakeFiles/tl_telemetry.dir/aggregates.cpp.o.d"
+  "CMakeFiles/tl_telemetry.dir/control_events.cpp.o"
+  "CMakeFiles/tl_telemetry.dir/control_events.cpp.o.d"
+  "CMakeFiles/tl_telemetry.dir/pingpong.cpp.o"
+  "CMakeFiles/tl_telemetry.dir/pingpong.cpp.o.d"
+  "CMakeFiles/tl_telemetry.dir/sampling.cpp.o"
+  "CMakeFiles/tl_telemetry.dir/sampling.cpp.o.d"
+  "CMakeFiles/tl_telemetry.dir/signaling_dataset.cpp.o"
+  "CMakeFiles/tl_telemetry.dir/signaling_dataset.cpp.o.d"
+  "libtl_telemetry.a"
+  "libtl_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/deployment.cpp" "src/topology/CMakeFiles/tl_topology.dir/deployment.cpp.o" "gcc" "src/topology/CMakeFiles/tl_topology.dir/deployment.cpp.o.d"
+  "/root/repo/src/topology/energy_saving.cpp" "src/topology/CMakeFiles/tl_topology.dir/energy_saving.cpp.o" "gcc" "src/topology/CMakeFiles/tl_topology.dir/energy_saving.cpp.o.d"
+  "/root/repo/src/topology/neighbor_map.cpp" "src/topology/CMakeFiles/tl_topology.dir/neighbor_map.cpp.o" "gcc" "src/topology/CMakeFiles/tl_topology.dir/neighbor_map.cpp.o.d"
+  "/root/repo/src/topology/snapshot.cpp" "src/topology/CMakeFiles/tl_topology.dir/snapshot.cpp.o" "gcc" "src/topology/CMakeFiles/tl_topology.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tl_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

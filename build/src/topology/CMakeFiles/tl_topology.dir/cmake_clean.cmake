@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_topology.dir/deployment.cpp.o"
+  "CMakeFiles/tl_topology.dir/deployment.cpp.o.d"
+  "CMakeFiles/tl_topology.dir/energy_saving.cpp.o"
+  "CMakeFiles/tl_topology.dir/energy_saving.cpp.o.d"
+  "CMakeFiles/tl_topology.dir/neighbor_map.cpp.o"
+  "CMakeFiles/tl_topology.dir/neighbor_map.cpp.o.d"
+  "CMakeFiles/tl_topology.dir/snapshot.cpp.o"
+  "CMakeFiles/tl_topology.dir/snapshot.cpp.o.d"
+  "libtl_topology.a"
+  "libtl_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_util.dir/accumulator.cpp.o"
+  "CMakeFiles/tl_util.dir/accumulator.cpp.o.d"
+  "CMakeFiles/tl_util.dir/csv.cpp.o"
+  "CMakeFiles/tl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tl_util.dir/distributions.cpp.o"
+  "CMakeFiles/tl_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/tl_util.dir/hash.cpp.o"
+  "CMakeFiles/tl_util.dir/hash.cpp.o.d"
+  "CMakeFiles/tl_util.dir/rng.cpp.o"
+  "CMakeFiles/tl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tl_util.dir/sim_time.cpp.o"
+  "CMakeFiles/tl_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/tl_util.dir/table.cpp.o"
+  "CMakeFiles/tl_util.dir/table.cpp.o.d"
+  "libtl_util.a"
+  "libtl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

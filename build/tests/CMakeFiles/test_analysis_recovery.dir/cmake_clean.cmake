@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_recovery.dir/test_analysis_recovery.cpp.o"
+  "CMakeFiles/test_analysis_recovery.dir/test_analysis_recovery.cpp.o.d"
+  "test_analysis_recovery"
+  "test_analysis_recovery.pdb"
+  "test_analysis_recovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corenet.dir/test_corenet.cpp.o"
+  "CMakeFiles/test_corenet.dir/test_corenet.cpp.o.d"
+  "test_corenet"
+  "test_corenet.pdb"
+  "test_corenet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ho_properties.dir/test_ho_properties.cpp.o"
+  "CMakeFiles/test_ho_properties.dir/test_ho_properties.cpp.o.d"
+  "test_ho_properties"
+  "test_ho_properties.pdb"
+  "test_ho_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ho_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

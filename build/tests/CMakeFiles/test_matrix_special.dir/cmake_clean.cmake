@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_special.dir/test_matrix_special.cpp.o"
+  "CMakeFiles/test_matrix_special.dir/test_matrix_special.cpp.o.d"
+  "test_matrix_special"
+  "test_matrix_special.pdb"
+  "test_matrix_special[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

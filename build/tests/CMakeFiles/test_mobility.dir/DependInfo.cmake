@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mobility.cpp" "tests/CMakeFiles/test_mobility.dir/test_mobility.cpp.o" "gcc" "tests/CMakeFiles/test_mobility.dir/test_mobility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tl_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/tl_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/tl_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/tl_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/core_network/CMakeFiles/tl_corenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/tl_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summary_ecdf.dir/test_summary_ecdf.cpp.o"
+  "CMakeFiles/test_summary_ecdf.dir/test_summary_ecdf.cpp.o.d"
+  "test_summary_ecdf"
+  "test_summary_ecdf.pdb"
+  "test_summary_ecdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summary_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
