@@ -1,0 +1,103 @@
+// Incident drill — scripts a canned fault scenario against one study day
+// and reports before/during/after handover health, the shape a NOC would
+// watch during a real sector outage plus vendor bug wave. Demonstrates the
+// fault-injection subsystem end to end: scenario building, schedule
+// installation, recovery modeling and the incident-window aggregator.
+//
+//   $ incident_drill [scale] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/simulator.hpp"
+#include "faults/scenarios.hpp"
+#include "telemetry/aggregates.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tl;
+  using Phase = telemetry::IncidentWindowAggregator::Phase;
+
+  core::StudyConfig config = core::StudyConfig::bench_scale();
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+  config.seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+  config.days = 1;
+  config.finalize();
+  config.population.count = 20'000;
+  config.recovery.enabled = true;  // UEs re-attempt after HOFs during the drill
+
+  // Baseline pass: find the busiest sector so the drill hits where it hurts.
+  std::cout << "Baseline day (no faults)...\n";
+  core::Simulator baseline{config};
+  const auto n_sectors = baseline.deployment().sectors().size();
+  const auto window_start = faults::at_hour(0, 10.0);
+  const auto window_end = faults::at_hour(0, 14.0);
+  telemetry::IncidentWindowAggregator before{window_start, window_end, n_sectors};
+  baseline.add_sink(&before);
+  baseline.run();
+
+  topology::SectorId victim = 0;
+  std::uint64_t busiest = 0;
+  for (topology::SectorId s = 0; s < n_sectors; ++s) {
+    const std::uint64_t total = before.targeting(s, Phase::kBefore) +
+                                before.targeting(s, Phase::kDuring) +
+                                before.targeting(s, Phase::kAfter);
+    if (total > busiest) {
+      busiest = total;
+      victim = s;
+    }
+  }
+  const auto& victim_sector = baseline.deployment().sectors()[victim];
+
+  // The drill: take the busiest sector off-air for the window, and let a
+  // vendor bug wave degrade its vendor's fleet for the same hours.
+  faults::Scenario drill = faults::single_sector_drill(victim, 0, 10.0, 14.0);
+  drill.add(faults::vendor_bug_wave(victim_sector.vendor, window_start, window_end, 8.0));
+  faults::FaultSchedule schedule;
+  drill.install(schedule);
+
+  std::cout << "Drill day: sector " << victim << " off-air 10:00-14:00, vendor "
+            << topology::to_string(victim_sector.vendor) << " bug wave x8...\n";
+  core::Simulator sim{config};
+  sim.set_fault_schedule(&schedule);
+  telemetry::IncidentWindowAggregator during{window_start, window_end, n_sectors};
+  sim.add_sink(&during);
+  sim.run();
+
+  const char* phase_names[] = {"before (00-10h)", "during (10-14h)", "after (14-24h)"};
+  const Phase phases[] = {Phase::kBefore, Phase::kDuring, Phase::kAfter};
+
+  util::print_section(std::cout, "National HO health around the incident window");
+  util::TextTable nat{{"Phase", "HOs (baseline)", "HOF (baseline)", "HOs (drill)",
+                       "HOF (drill)"}};
+  for (int p = 0; p < 3; ++p) {
+    const auto& b = before.national(phases[p]);
+    const auto& d = during.national(phases[p]);
+    nat.add_row({phase_names[p], std::to_string(b.handovers),
+                 util::TextTable::pct(b.hof_rate(), 2), std::to_string(d.handovers),
+                 util::TextTable::pct(d.hof_rate(), 2)});
+  }
+  nat.print(std::cout);
+
+  util::print_section(std::cout, "Victim sector (HOs targeting it)");
+  util::TextTable vic{{"Phase", "baseline", "drill"}};
+  for (int p = 0; p < 3; ++p) {
+    vic.add_row({phase_names[p], std::to_string(before.targeting(victim, phases[p])),
+                 std::to_string(during.targeting(victim, phases[p]))});
+  }
+  vic.print(std::cout);
+
+  util::print_section(std::cout, "Victim sector as HO source");
+  util::TextTable src{{"Phase", "HOs (drill)", "HOF (drill)"}};
+  for (int p = 0; p < 3; ++p) {
+    const auto& t = during.sourced_at(victim, phases[p]);
+    src.add_row({phase_names[p], std::to_string(t.handovers),
+                 util::TextTable::pct(t.hof_rate(), 2)});
+  }
+  src.print(std::cout);
+
+  std::cout << "\nThe during-window column should read zero for the victim and the\n"
+               "national drill HOF should spike inside the window only — injected\n"
+               "incidents flow through the same records as organic failures.\n";
+  return 0;
+}

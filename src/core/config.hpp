@@ -5,9 +5,11 @@
 // the paper's tables and figures).
 
 #include <cstdint>
+#include <string>
 
 #include "devices/catalog.hpp"
 #include "devices/population.hpp"
+#include "faults/recovery.hpp"
 #include "geo/census.hpp"
 #include "ran/coverage.hpp"
 #include "topology/deployment.hpp"
@@ -41,6 +43,17 @@ struct StudyConfig {
   /// the ablation bench measures what the policy buys.
   bool suppress_ping_pong = false;
   std::int64_t ping_pong_window_ms = 5'000;
+
+  /// Post-HOF UE recovery modeling (RRC re-establishment vs fallback to
+  /// source, capped-exponential re-attempt backoff, temporary target
+  /// barring). Off by default: the stock pipeline's output is untouched.
+  faults::RecoveryConfig recovery;
+
+  /// When non-empty, Simulator::run() writes a checkpoint here after every
+  /// completed day and resumes from it on the next run() — a mid-run crash
+  /// (injected or real) costs at most one day of recomputation and the
+  /// resumed record stream is identical to an uninterrupted run.
+  std::string checkpoint_path;
 
   /// Applies `scale` and `seed` consistently across the nested configs.
   /// Call after editing scale/seed/days.

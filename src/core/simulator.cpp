@@ -1,6 +1,9 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 
 #include "mobility/metrics.hpp"
 #include "ran/propagation.hpp"
@@ -8,6 +11,7 @@
 namespace tl::core {
 
 using topology::ObservedRat;
+using topology::kInvalidSector;
 
 Simulator::Simulator(StudyConfig config)
     : config_(std::move(config)),
@@ -19,7 +23,8 @@ Simulator::Simulator(StudyConfig config)
         return fm;
       }()),
       causes_(config_.seed * 31 + 10),
-      procedure_(failure_model_, durations_, causes_) {
+      procedure_(failure_model_, durations_, causes_),
+      recovery_(config_.recovery) {
   country_ = std::make_unique<geo::Country>(geo::synthesize_country(config_.census));
   deployment_ = std::make_unique<topology::Deployment>(
       topology::Deployment::build(*country_, config_.deployment));
@@ -102,8 +107,108 @@ void Simulator::add_metrics_sink(telemetry::MetricsSink* sink) {
   metrics_sinks_.push_back(sink);
 }
 
+void Simulator::set_fault_schedule(const faults::FaultSchedule* schedule) {
+  faults_ = schedule;
+  energy_.set_availability_override(schedule);
+  failure_model_.set_fault_schedule(schedule);
+}
+
 void Simulator::run() {
-  for (int day = 0; day < config_.days; ++day) run_day(day);
+  if (!config_.checkpoint_path.empty() && next_day_ == 0) {
+    load_checkpoint(config_.checkpoint_path);
+  }
+  for (int day = next_day_; day < config_.days; ++day) {
+    run_day(day);
+    if (!config_.checkpoint_path.empty()) save_checkpoint(config_.checkpoint_path);
+  }
+}
+
+DayCheckpoint Simulator::checkpoint() const {
+  DayCheckpoint cp;
+  cp.next_day = next_day_;
+  cp.seed = config_.seed;
+  cp.records_emitted = records_emitted_;
+  cp.core = core_;
+  return cp;
+}
+
+void Simulator::restore(const DayCheckpoint& checkpoint) {
+  if (checkpoint.seed != config_.seed) {
+    throw std::invalid_argument{"Simulator::restore: checkpoint seed mismatch"};
+  }
+  if (checkpoint.next_day < 0 || checkpoint.next_day > config_.days) {
+    throw std::invalid_argument{"Simulator::restore: day cursor out of range"};
+  }
+  next_day_ = checkpoint.next_day;
+  records_emitted_ = checkpoint.records_emitted;
+  core_ = checkpoint.core;
+}
+
+void Simulator::save_checkpoint(const std::string& path) const {
+  // Write-then-rename would need platform glue; a short text file written in
+  // one shot is atomic enough for the single-process pipeline, and the
+  // loader rejects anything truncated or mismatched.
+  std::ofstream os{path, std::ios::trunc};
+  if (!os) throw std::runtime_error{"save_checkpoint: cannot open " + path};
+  os << "telcolens-checkpoint v1\n";
+  os << "seed " << config_.seed << "\n";
+  os << "next_day " << next_day_ << "\n";
+  os << "records_emitted " << records_emitted_ << "\n";
+  for (const auto region : geo::kAllRegions) {
+    const auto& mme = core_.mme(region);
+    const auto& sgsn = core_.sgsn(region);
+    const auto& msc = core_.msc(region);
+    const auto& sgw = core_.sgw(region);
+    os << "region " << static_cast<int>(region) << " " << mme.handovers.procedures << " "
+       << mme.handovers.successes << " " << mme.handovers.failures << " "
+       << mme.path_switches.procedures << " " << mme.path_switches.successes << " "
+       << mme.path_switches.failures << " " << sgsn.relocations.procedures << " "
+       << sgsn.relocations.successes << " " << sgsn.relocations.failures << " "
+       << msc.srvcc.procedures << " " << msc.srvcc.successes << " "
+       << msc.srvcc.failures << " " << sgw.bearer_modifications << "\n";
+  }
+  if (!os) throw std::runtime_error{"save_checkpoint: write failed on " + path};
+}
+
+bool Simulator::load_checkpoint(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) return false;  // no checkpoint yet: start from day 0
+  const auto corrupt = [&path]() -> std::runtime_error {
+    return std::runtime_error{"load_checkpoint: corrupt checkpoint " + path};
+  };
+  std::string magic, version, key;
+  if (!(is >> magic >> version) || magic != "telcolens-checkpoint" || version != "v1") {
+    throw corrupt();
+  }
+  DayCheckpoint cp;
+  if (!(is >> key >> cp.seed) || key != "seed") throw corrupt();
+  if (!(is >> key >> cp.next_day) || key != "next_day") throw corrupt();
+  if (!(is >> key >> cp.records_emitted) || key != "records_emitted") throw corrupt();
+  for (std::size_t i = 0; i < geo::kAllRegions.size(); ++i) {
+    int region_index = -1;
+    if (!(is >> key >> region_index) || key != "region" || region_index < 0 ||
+        region_index >= static_cast<int>(geo::kAllRegions.size())) {
+      throw corrupt();
+    }
+    const auto region = static_cast<geo::Region>(region_index);
+    auto& mme = cp.core.mme(region);
+    auto& sgsn = cp.core.sgsn(region);
+    auto& msc = cp.core.msc(region);
+    auto& sgw = cp.core.sgw(region);
+    if (!(is >> mme.handovers.procedures >> mme.handovers.successes >>
+          mme.handovers.failures >> mme.path_switches.procedures >>
+          mme.path_switches.successes >> mme.path_switches.failures >>
+          sgsn.relocations.procedures >> sgsn.relocations.successes >>
+          sgsn.relocations.failures >> msc.srvcc.procedures >> msc.srvcc.successes >>
+          msc.srvcc.failures >> sgw.bearer_modifications)) {
+      throw corrupt();
+    }
+  }
+  if (cp.seed != config_.seed) {
+    throw std::runtime_error{"load_checkpoint: seed mismatch in " + path};
+  }
+  restore(cp);
+  return true;
 }
 
 void Simulator::run_day(int day) {
@@ -119,6 +224,9 @@ void Simulator::run_day(int day) {
     }
   }
   for (auto* sink : sinks_) sink->on_day_end(day);
+  // Sequential progress advances the checkpoint cursor; replaying an
+  // already-completed day leaves it alone.
+  if (day == next_day_) next_day_ = day + 1;
 }
 
 topology::SectorId Simulator::locate_sector(const util::GeoPoint& position,
@@ -131,16 +239,20 @@ topology::SectorId Simulator::locate_sector(const util::GeoPoint& position,
     if (!sector) continue;
     const auto& s = deployment_->sector(*sector);
     if (energy_.is_active(s, day, bin)) return *sector;
-    // The booster is asleep: fall back to any always-on sector of the same
-    // class on this site.
+    // Inactive: an asleep booster, or a scripted outage. Fall back to any
+    // active always-on sector of the same class on this site.
     for (const topology::SectorId sid : deployment_->site(site).sectors) {
       const auto& alt = deployment_->sector(sid);
       if (!alt.capacity_booster && topology::observe(alt.rat) == rat_class &&
-          topology::supports(ue.rat_support, alt.rat)) {
+          topology::supports(ue.rat_support, alt.rat) && energy_.is_active(alt, day, bin)) {
         return sid;
       }
     }
-    return *sector;  // no always-on alternative: the booster wakes for the HO
+    // A plainly sleeping booster wakes for the HO; a faulted sector cannot —
+    // the outage suppresses this site and the UE tries the next-nearest one.
+    const bool faulted =
+        faults_ != nullptr && !faults_->empty() && faults_->forced_off(s, day, bin);
+    if (!faulted) return *sector;
   }
   return kInvalidSector;
 }
@@ -214,6 +326,11 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
   // Ping-pong suppression state: the sector the UE most recently left.
   topology::SectorId previous_serving = kInvalidSector;
   util::TimestampMs last_ho_time = 0;
+  // Recovery state: a target whose retry chain was exhausted is temporarily
+  // barred (conn-establishment-failure-control style). Stays kInvalidSector
+  // while recovery modeling is disabled.
+  topology::SectorId barred_sector = kInvalidSector;
+  util::TimestampMs barred_until = 0;
 
   const double voice_share = config_.voice_share[static_cast<std::size_t>(ue.type)];
 
@@ -239,10 +356,16 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
         event.time - last_ho_time <= config_.ping_pong_window_ms) {
       continue;
     }
+    if (target == barred_sector && event.time < barred_until) continue;
 
     const auto& target_sector = deployment_->sector(target);
-    const double overload = ran::LoadModel::overload_rejection_probability(
+    double overload = ran::LoadModel::overload_rejection_probability(
         load_model_.utilization(target_sector, day, bin));
+    if (faults_ != nullptr && !faults_->empty()) {
+      // Signaling/core-overload storms reach the attempt through the same
+      // overload channel organic congestion uses, so Cause #4 rises with it.
+      overload = std::min(1.0, overload + faults_->overload_boost(source.region, event.time));
+    }
 
     corenet::HoAttempt attempt;
     attempt.ue = &ue;
@@ -260,7 +383,7 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
     attempt.endc = source.rat == topology::Rat::kG5Nr ||
                    target_sector.rat == topology::Rat::kG5Nr;
 
-    const corenet::HoOutcome outcome = procedure_.execute(attempt, core_, rng);
+    corenet::HoOutcome outcome = procedure_.execute(attempt, core_, rng);
 
     telemetry::HandoverRecord record;
     record.timestamp = event.time;
@@ -286,14 +409,50 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
     ++handovers;
     if (!outcome.success) ++failures;
 
+    // The time the (eventually) successful HO executed; re-attempts push it
+    // past the triggering trace event.
+    util::TimestampMs ho_time = event.time;
+    if (!outcome.success && config_.recovery.enabled) {
+      // T304 expired: the UE runs RRC re-establishment. Either it lands on
+      // the (still strongest) target and the HO is re-attempted after a
+      // capped-exponential backoff, or it falls back to the source cell and
+      // the chain ends ("MS continues on the old lchan").
+      const util::TimestampMs day_end =
+          (static_cast<util::TimestampMs>(day) + 1) * util::kMsPerDay;
+      for (int retry = 1; retry <= config_.recovery.max_reattempts && !outcome.success;
+           ++retry) {
+        const faults::RecoveryDecision recovery = recovery_.decide(retry, rng);
+        if (recovery.action == faults::RecoveryAction::kFallbackToSource) break;
+        const util::TimestampMs t =
+            ho_time + static_cast<util::TimestampMs>(recovery.backoff_ms);
+        if (t >= day_end) break;  // chain truncated at the day boundary
+        ho_time = t;
+        attempt.time = t;
+        outcome = procedure_.execute(attempt, core_, rng);
+        record.timestamp = t;
+        record.success = outcome.success;
+        record.duration_ms = static_cast<float>(outcome.duration_ms);
+        record.cause = outcome.cause;
+        record.attempt = static_cast<std::uint8_t>(retry);
+        for (auto* sink : sinks_) sink->consume(record);
+        ++records_emitted_;
+        ++handovers;
+        if (!outcome.success) ++failures;
+      }
+      if (!outcome.success && config_.recovery.bar_failed_target_ms > 0) {
+        barred_sector = target;
+        barred_until = ho_time + config_.recovery.bar_failed_target_ms;
+      }
+    }
+
     if (outcome.success) {
       // Book the dwell on the sector we are leaving, then switch.
       metrics.add_visit(serving, deployment_->site(source.site).location,
-                        static_cast<double>(event.time - serving_since));
+                        static_cast<double>(ho_time - serving_since));
       previous_serving = serving;
-      last_ho_time = event.time;
+      last_ho_time = ho_time;
       serving = target;
-      serving_since = event.time;
+      serving_since = ho_time;
       // Fallbacks are transient: the UE reselects back to 4G/5G before its
       // next observable HO (the paper never sees 3G->4G, only the next
       // 4G-sourced HO). Model that by restoring a 4G/5G serving sector.

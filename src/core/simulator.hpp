@@ -9,10 +9,13 @@
 // EPC handover state machine. Everything is deterministic in the seed.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core_network/duration_model.hpp"
+#include "faults/fault_schedule.hpp"
+#include "faults/recovery.hpp"
 #include "core_network/entities.hpp"
 #include "core_network/failure_causes.hpp"
 #include "core_network/failure_model.hpp"
@@ -30,6 +33,17 @@
 
 namespace tl::core {
 
+/// Everything needed to resume a run after the last completed day: the day
+/// cursor, the record counter and the core-network entity counters. All
+/// other simulator state is either immutable after construction or derived
+/// per (seed, ue, day), so days are independent replay units.
+struct DayCheckpoint {
+  int next_day = 0;
+  std::uint64_t seed = 0;  // guards against resuming a mismatched study
+  std::uint64_t records_emitted = 0;
+  corenet::CoreNetwork core;
+};
+
 class Simulator {
  public:
   explicit Simulator(StudyConfig config);
@@ -38,10 +52,36 @@ class Simulator {
   void add_sink(telemetry::RecordSink* sink);
   void add_metrics_sink(telemetry::MetricsSink* sink);
 
-  /// Runs all configured days.
+  /// Installs (or clears, with nullptr) a borrowed fault-injection
+  /// schedule: outages veto sectors in locate_sector (via the energy
+  /// policy's availability override) and modifier events inflate failure
+  /// probabilities / target overload on matching HO attempts. An empty or
+  /// absent schedule leaves output byte-identical.
+  void set_fault_schedule(const faults::FaultSchedule* schedule);
+  const faults::FaultSchedule* fault_schedule() const noexcept { return faults_; }
+
+  /// Runs the remaining configured days (all of them on a fresh instance).
+  /// When `config().checkpoint_path` is set, resumes from that file if
+  /// present and rewrites it after every completed day.
   void run();
-  /// Runs a single day (idempotent per day; callers sequence days).
+  /// Runs a single day (idempotent per day; callers sequence days). Running
+  /// the day at the checkpoint cursor advances the cursor; out-of-order
+  /// replays leave it alone.
   void run_day(int day);
+
+  /// Snapshot after the last completed day; feed to a fresh Simulator's
+  /// restore() to continue the run with an identical record stream.
+  DayCheckpoint checkpoint() const;
+  /// Restores the day cursor and counters. Throws std::invalid_argument on
+  /// a seed mismatch (the checkpoint belongs to a different study).
+  void restore(const DayCheckpoint& checkpoint);
+  /// File forms of checkpoint()/restore(). load_checkpoint returns false
+  /// when `path` does not exist and throws std::runtime_error on a corrupt
+  /// or mismatched file.
+  void save_checkpoint(const std::string& path) const;
+  bool load_checkpoint(const std::string& path);
+  /// First day the next run() call will simulate.
+  int next_day() const noexcept { return next_day_; }
 
   const StudyConfig& config() const noexcept { return config_; }
   const geo::Country& country() const noexcept { return *country_; }
@@ -74,8 +114,6 @@ class Simulator {
                                    const devices::Ue& ue, int day, int bin,
                                    util::Rng& rng) const;
 
-  static constexpr topology::SectorId kInvalidSector = 0xffffffffu;
-
   StudyConfig config_;
   std::unique_ptr<geo::Country> country_;
   std::unique_ptr<topology::Deployment> deployment_;
@@ -92,6 +130,8 @@ class Simulator {
   corenet::CauseCatalog causes_;
   corenet::HandoverProcedure procedure_;
   corenet::CoreNetwork core_;
+  faults::RecoveryModel recovery_;
+  const faults::FaultSchedule* faults_ = nullptr;
 
   /// Cached per-UE plans (stable across days).
   std::vector<mobility::UePlan> plans_;
@@ -99,6 +139,7 @@ class Simulator {
   std::vector<telemetry::RecordSink*> sinks_;
   std::vector<telemetry::MetricsSink*> metrics_sinks_;
   std::uint64_t records_emitted_ = 0;
+  int next_day_ = 0;
 };
 
 }  // namespace tl::core

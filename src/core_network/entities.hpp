@@ -74,6 +74,9 @@ class CoreNetwork {
   const Msc& msc(geo::Region r) const noexcept {
     return mscs_[static_cast<std::size_t>(r)];
   }
+  const Sgw& sgw(geo::Region r) const noexcept {
+    return sgws_[static_cast<std::size_t>(r)];
+  }
 
   /// Books one HO procedure into the entities it traverses.
   void record_handover(geo::Region region, topology::ObservedRat target, bool success,

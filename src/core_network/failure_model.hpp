@@ -11,10 +11,12 @@
 
 #include <cstdint>
 
+#include "faults/fault_schedule.hpp"
 #include "geo/district.hpp"
 #include "geo/region.hpp"
 #include "topology/rat.hpp"
 #include "topology/vendor.hpp"
+#include "util/sim_time.hpp"
 
 namespace tl::corenet {
 
@@ -25,6 +27,9 @@ struct FailureContext {
   geo::Region region = geo::Region::kCapital;
   std::uint32_t source_sector = 0;
   int day = 0;
+  /// Exact attempt time; lets the fault schedule match incident windows at
+  /// finer than day granularity.
+  util::TimestampMs time = 0;
   /// Target-sector overload rejection probability (LoadModel output).
   double overload = 0.0;
   /// Per-device HOF multiplier (manufacturer x individual).
@@ -64,10 +69,20 @@ class FailureModel {
 
   static double region_multiplier(geo::Region region) noexcept;
 
+  /// Installs (or clears) a fault-injection schedule; borrowed. Active
+  /// incidents whose scope matches an attempt (source sector, vendor,
+  /// region) multiply its failure probability, so injected faults produce
+  /// records, causes and durations exactly like organic failures.
+  void set_fault_schedule(const faults::FaultSchedule* schedule) noexcept {
+    faults_ = schedule;
+  }
+  const faults::FaultSchedule* fault_schedule() const noexcept { return faults_; }
+
   const FailureModelConfig& config() const noexcept { return config_; }
 
  private:
   FailureModelConfig config_;
+  const faults::FaultSchedule* faults_ = nullptr;
 };
 
 }  // namespace tl::corenet

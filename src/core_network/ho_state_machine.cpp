@@ -19,6 +19,7 @@ HoOutcome HandoverProcedure::execute(const HoAttempt& attempt, CoreNetwork& core
   fctx.region = attempt.region;
   fctx.source_sector = attempt.source_sector;
   fctx.day = util::SimCalendar::day_index(attempt.time);
+  fctx.time = attempt.time;
   fctx.overload = attempt.target_overload;
   fctx.ue_hof_multiplier = attempt.ue->hof_multiplier;
   // An SRVCC attempt without the subscription cannot succeed: the service

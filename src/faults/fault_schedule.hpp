@@ -1,0 +1,119 @@
+#pragma once
+
+// Deterministic fault-injection schedule.
+//
+// The paper's §6 is about *failure*: HOF causes cluster in sector-day
+// incidents (Table 6 / Fig. 16) rather than spreading evenly. This module
+// lets a study script those incidents — sector and site outages, regional
+// backhaul cuts, core-entity overload storms, vendor software-bug waves,
+// paging/signaling storms — as explicit time-windowed events. The simulator
+// hot path consults the active schedule (FailureModel for HOF inflation,
+// EnergySavingPolicy/locate_sector for sector availability, the load path
+// for overload boosts), so injected faults flow into records, causes and
+// durations exactly like organic ones.
+//
+// An empty schedule is free: every query short-circuits on empty(), so runs
+// without faults are byte-identical to a build without this subsystem.
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/region.hpp"
+#include "topology/energy_saving.hpp"
+#include "topology/sector.hpp"
+#include "topology/vendor.hpp"
+#include "util/sim_time.hpp"
+
+namespace tl::faults {
+
+enum class FaultKind : std::uint8_t {
+  /// One radio sector off-air (hardware failure, fiber cut to the head).
+  kSectorOutage = 0,
+  /// Every sector on a cell site off-air (power loss, site backhaul cut).
+  kSiteOutage,
+  /// One sector stays on-air but its HOF probability is inflated (the
+  /// Table 6 sector-day incident shape: a bad day, not a dead sector).
+  kSectorDegraded,
+  /// Regional transport degradation: all HOs sourced in the region fail
+  /// more often (timeouts on the relocation path).
+  kRegionalBackhaulCut,
+  /// Core-entity (MME/SGW pool) overload: regional HOF inflation plus an
+  /// overload boost that steers failures toward Cause #4.
+  kCoreOverloadStorm,
+  /// A software regression on one vendor's RAN fleet: vendor-wide HOF
+  /// multiplier for the duration of the wave.
+  kVendorBugWave,
+  /// Paging/signaling storm: regional target-overload boost (more
+  /// "target load too high" rejections) without a direct HOF multiplier.
+  kSignalingStorm,
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+/// One scripted incident. `start`/`end` bound the window as [start, end) in
+/// study milliseconds; the scope fields that apply depend on `kind`.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSectorOutage;
+  util::TimestampMs start = 0;
+  util::TimestampMs end = 0;
+
+  // Scope selectors (only the ones the kind needs are read).
+  topology::SectorId sector = topology::kInvalidSector;
+  topology::SiteId site = topology::kInvalidSite;
+  geo::Region region = geo::Region::kCapital;
+  topology::Vendor vendor = topology::Vendor::kV1;
+
+  /// Multiplies the per-HO failure probability for matching attempts.
+  double hof_multiplier = 1.0;
+  /// Added to the target-overload rejection probability for matching
+  /// attempts (clamped to [0,1] by the consumer).
+  double overload_boost = 0.0;
+
+  bool active_at(util::TimestampMs t) const noexcept { return t >= start && t < end; }
+  /// Whether the window overlaps half-hour bin `bin` of day `day`.
+  bool active_in_bin(int day, int bin) const noexcept;
+};
+
+/// The assembled schedule. Events are partitioned into availability events
+/// (outages, consulted per sector lookup) and modifier events (HOF
+/// multipliers / overload boosts, consulted per HO attempt) so each hot-path
+/// query scans only the relevant — typically tiny — list.
+class FaultSchedule final : public topology::SectorAvailabilityOverride {
+ public:
+  FaultSchedule() = default;
+
+  void add(const FaultEvent& event);
+  void add(const std::vector<FaultEvent>& events);
+
+  bool empty() const noexcept { return outages_.empty() && modifiers_.empty(); }
+  std::size_t size() const noexcept { return outages_.size() + modifiers_.size(); }
+
+  /// True when an outage event covers `sector` (directly or via its site)
+  /// at exact time `t`.
+  bool sector_out(topology::SectorId sector, topology::SiteId site,
+                  util::TimestampMs t) const noexcept;
+
+  /// topology::SectorAvailabilityOverride: bin-granular availability, as the
+  /// energy-saving policy (and through it the serving-sector lookup) sees
+  /// it. A sector is forced off for every bin its outage window overlaps.
+  bool forced_off(const topology::RadioSector& sector, int day,
+                  int half_hour_bin) const noexcept override;
+
+  /// Product of the HOF multipliers of every modifier event active at `t`
+  /// whose scope matches the attempt (source sector / vendor / region).
+  double hof_multiplier(topology::SectorId source_sector, topology::Vendor vendor,
+                        geo::Region region, util::TimestampMs t) const noexcept;
+
+  /// Sum of the overload boosts of every modifier event active at `t`
+  /// scoped to `region`. Caller clamps the boosted overload to [0, 1].
+  double overload_boost(geo::Region region, util::TimestampMs t) const noexcept;
+
+  const std::vector<FaultEvent>& outages() const noexcept { return outages_; }
+  const std::vector<FaultEvent>& modifiers() const noexcept { return modifiers_; }
+
+ private:
+  std::vector<FaultEvent> outages_;
+  std::vector<FaultEvent> modifiers_;
+};
+
+}  // namespace tl::faults

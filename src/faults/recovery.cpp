@@ -1,0 +1,32 @@
+#include "faults/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tl::faults {
+
+double RecoveryModel::backoff_ms(int reattempt_index) const noexcept {
+  if (reattempt_index < 1) return 0.0;
+  const double raw =
+      config_.backoff_base_ms *
+      std::pow(config_.backoff_factor, static_cast<double>(reattempt_index - 1));
+  return std::min(raw, config_.backoff_cap_ms);
+}
+
+RecoveryDecision RecoveryModel::decide(int reattempt_index, util::Rng& rng) const noexcept {
+  RecoveryDecision decision;
+  if (reattempt_index > config_.max_reattempts) {
+    decision.action = RecoveryAction::kFallbackToSource;
+    return decision;
+  }
+  if (rng.chance(config_.p_reattempt_target)) {
+    decision.action = RecoveryAction::kReestablishTarget;
+    const double jitter = 1.0 + config_.backoff_jitter * rng.uniform(-1.0, 1.0);
+    decision.backoff_ms = std::max(1.0, backoff_ms(reattempt_index) * jitter);
+  } else {
+    decision.action = RecoveryAction::kFallbackToSource;
+  }
+  return decision;
+}
+
+}  // namespace tl::faults

@@ -1,0 +1,76 @@
+#pragma once
+
+// UE recovery after a handover failure.
+//
+// The paper observes outcomes, not the UE's reaction; real stacks are built
+// around the error path ("On any error or timeout -> handover_end(fail), MS
+// continues on the old lchan" — osmo-bsc). Per 3GPP TS 36.331, T304 expiry
+// during HO execution triggers RRC re-establishment: the UE either
+// re-establishes toward the (still strongest) target cell and the network
+// re-attempts the handover, or falls back to the source cell and carries on.
+// This module models that choice plus capped exponential backoff between
+// re-attempts and temporary barring of a target that keeps failing — making
+// retry chains and failure-driven ping-pong measurable in the record stream.
+//
+// Disabled by default (`RecoveryConfig::enabled == false`): the stock
+// pipeline consumes no extra RNG draws and emits byte-identical output.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace tl::faults {
+
+enum class RecoveryAction : std::uint8_t {
+  /// RRC re-establishment toward the failed target; the HO is re-attempted
+  /// after the backoff delay.
+  kReestablishTarget = 0,
+  /// The UE falls back to (stays on) the source cell; the retry chain ends.
+  kFallbackToSource,
+};
+
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Probability that re-establishment lands on the failed target (which is
+  /// usually still the strongest neighbor) vs falling back to the source.
+  double p_reattempt_target = 0.6;
+  /// Maximum HO re-attempts per failed opportunity (after the initial try).
+  int max_reattempts = 3;
+  /// Capped exponential backoff before re-attempt k (1-based):
+  /// min(base * factor^(k-1), cap), jittered by +/- `backoff_jitter`.
+  /// The base approximates T310 failure detection + re-establishment delay.
+  double backoff_base_ms = 150.0;
+  double backoff_factor = 2.0;
+  double backoff_cap_ms = 2'000.0;
+  double backoff_jitter = 0.25;
+  /// After an exhausted retry chain the UE bars the target sector for this
+  /// long (conn-establishment-failure-control style), 0 disables barring.
+  std::int64_t bar_failed_target_ms = 30'000;
+};
+
+struct RecoveryDecision {
+  RecoveryAction action = RecoveryAction::kFallbackToSource;
+  /// Delay before the re-attempt (meaningful for kReestablishTarget).
+  double backoff_ms = 0.0;
+};
+
+class RecoveryModel {
+ public:
+  explicit RecoveryModel(const RecoveryConfig& config = {}) : config_(config) {}
+
+  /// Decision for re-attempt `reattempt_index` (1-based). Draws from `rng`
+  /// only when called, so disabled recovery perturbs nothing.
+  RecoveryDecision decide(int reattempt_index, util::Rng& rng) const noexcept;
+
+  /// Deterministic pre-jitter backoff for re-attempt `reattempt_index`
+  /// (1-based); capped at `backoff_cap_ms`.
+  double backoff_ms(int reattempt_index) const noexcept;
+
+  const RecoveryConfig& config() const noexcept { return config_; }
+
+ private:
+  RecoveryConfig config_;
+};
+
+}  // namespace tl::faults

@@ -294,4 +294,42 @@ void DurationAggregator::consume(const HandoverRecord& record) {
   reservoirs_[static_cast<std::size_t>(record.target_rat)].add(record.duration_ms);
 }
 
+// --- IncidentWindowAggregator ------------------------------------------------
+
+IncidentWindowAggregator::IncidentWindowAggregator(util::TimestampMs window_start,
+                                                   util::TimestampMs window_end,
+                                                   std::size_t n_sectors)
+    : start_(window_start),
+      end_(window_end),
+      n_sectors_(n_sectors),
+      by_source_(n_sectors * 3),
+      by_target_(n_sectors * 3, 0) {}
+
+void IncidentWindowAggregator::consume(const HandoverRecord& record) {
+  const auto phase = static_cast<std::size_t>(phase_of(record.timestamp));
+  auto& nat = national_[phase];
+  ++nat.handovers;
+  if (!record.success) ++nat.failures;
+  if (record.source_sector < n_sectors_) {
+    auto& src = by_source_[static_cast<std::size_t>(record.source_sector) * 3 + phase];
+    ++src.handovers;
+    if (!record.success) ++src.failures;
+  }
+  if (record.target_sector < n_sectors_) {
+    ++by_target_[static_cast<std::size_t>(record.target_sector) * 3 + phase];
+  }
+}
+
+const IncidentWindowAggregator::Tally& IncidentWindowAggregator::sourced_at(
+    topology::SectorId sector, Phase phase) const {
+  return by_source_.at(static_cast<std::size_t>(sector) * 3 +
+                       static_cast<std::size_t>(phase));
+}
+
+std::uint64_t IncidentWindowAggregator::targeting(topology::SectorId sector,
+                                                  Phase phase) const {
+  return by_target_.at(static_cast<std::size_t>(sector) * 3 +
+                       static_cast<std::size_t>(phase));
+}
+
 }  // namespace tl::telemetry

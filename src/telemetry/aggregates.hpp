@@ -223,6 +223,53 @@ class TypeMixAggregator : public RecordSink {
   std::uint64_t total_ = 0;
 };
 
+/// Incident forensics: HO/HOF tallies split into before/during/after an
+/// incident window, nationally and per source/target sector. Feeds the
+/// incident-drill example and the fault-injection tests — the Table 6-style
+/// question "did the incident move this sector's failure rate, and only
+/// inside the window?".
+class IncidentWindowAggregator : public RecordSink {
+ public:
+  enum class Phase : std::uint8_t { kBefore = 0, kDuring, kAfter };
+
+  IncidentWindowAggregator(util::TimestampMs window_start, util::TimestampMs window_end,
+                           std::size_t n_sectors);
+
+  void consume(const HandoverRecord& record) override;
+
+  struct Tally {
+    std::uint64_t handovers = 0;
+    std::uint64_t failures = 0;
+    double hof_rate() const noexcept {
+      return handovers ? static_cast<double>(failures) / static_cast<double>(handovers)
+                       : 0.0;
+    }
+  };
+
+  Phase phase_of(util::TimestampMs t) const noexcept {
+    if (t < start_) return Phase::kBefore;
+    return t < end_ ? Phase::kDuring : Phase::kAfter;
+  }
+
+  /// National tallies per phase.
+  const Tally& national(Phase phase) const noexcept {
+    return national_[static_cast<std::size_t>(phase)];
+  }
+  /// Tallies of HOs *sourced at* `sector`, per phase.
+  const Tally& sourced_at(topology::SectorId sector, Phase phase) const;
+  /// Count of HOs *targeting* `sector`, per phase (availability check: an
+  /// outage should zero the during-window column).
+  std::uint64_t targeting(topology::SectorId sector, Phase phase) const;
+
+ private:
+  util::TimestampMs start_;
+  util::TimestampMs end_;
+  std::size_t n_sectors_;
+  std::array<Tally, 3> national_{};
+  std::vector<Tally> by_source_;          // [sector * 3 + phase]
+  std::vector<std::uint64_t> by_target_;  // [sector * 3 + phase]
+};
+
 /// Figs. 10, 13: retains every UE-day metrics row.
 class UeDayStore : public MetricsSink {
  public:

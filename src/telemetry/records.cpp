@@ -1,0 +1,46 @@
+#include "telemetry/records.hpp"
+
+#include <cmath>
+
+namespace tl::telemetry {
+
+const char* to_string(RecordDefect defect) noexcept {
+  switch (defect) {
+    case RecordDefect::kNone: return "none";
+    case RecordDefect::kBadSectorId: return "bad sector id";
+    case RecordDefect::kSelfHandover: return "self handover";
+    case RecordDefect::kBadDuration: return "bad duration";
+    case RecordDefect::kBadTimestamp: return "bad timestamp";
+    case RecordDefect::kTimeRegression: return "time regression";
+    case RecordDefect::kCauseMismatch: return "cause mismatch";
+  }
+  return "?";
+}
+
+RecordDefect inspect(const HandoverRecord& record, const ValidationLimits& limits,
+                     int completed_day) noexcept {
+  if (record.source_sector == topology::kInvalidSector ||
+      record.target_sector == topology::kInvalidSector) {
+    return RecordDefect::kBadSectorId;
+  }
+  if (limits.sector_count > 0 && (record.source_sector >= limits.sector_count ||
+                                  record.target_sector >= limits.sector_count)) {
+    return RecordDefect::kBadSectorId;
+  }
+  if (record.source_sector == record.target_sector) return RecordDefect::kSelfHandover;
+  if (std::isnan(record.duration_ms) || record.duration_ms < 0.0f ||
+      record.duration_ms > limits.max_duration_ms) {
+    return RecordDefect::kBadDuration;
+  }
+  if (record.timestamp < 0) return RecordDefect::kBadTimestamp;
+  if (record.day() <= completed_day) return RecordDefect::kTimeRegression;
+  if (record.success && record.cause != corenet::kCauseNone) {
+    return RecordDefect::kCauseMismatch;
+  }
+  if (!record.success && record.cause == corenet::kCauseNone) {
+    return RecordDefect::kCauseMismatch;
+  }
+  return RecordDefect::kNone;
+}
+
+}  // namespace tl::telemetry

@@ -1,0 +1,28 @@
+#include "telemetry/sinks.hpp"
+
+namespace tl::telemetry {
+
+ValidatingSink::ValidatingSink(RecordSink& inner, ValidationLimits limits,
+                               std::size_t quarantine_capacity)
+    : inner_(inner), limits_(limits), quarantine_capacity_(quarantine_capacity) {
+  quarantine_.reserve(quarantine_capacity_);
+}
+
+void ValidatingSink::consume(const HandoverRecord& record) {
+  const RecordDefect defect = inspect(record, limits_, completed_day_);
+  if (defect == RecordDefect::kNone) {
+    ++forwarded_;
+    inner_.consume(record);
+    return;
+  }
+  ++quarantined_;
+  ++counts_[static_cast<std::size_t>(defect)];
+  if (quarantine_.size() < quarantine_capacity_) quarantine_.push_back(record);
+}
+
+void ValidatingSink::on_day_end(int day) {
+  if (day > completed_day_) completed_day_ = day;
+  inner_.on_day_end(day);
+}
+
+}  // namespace tl::telemetry

@@ -26,7 +26,9 @@ double EnergySavingPolicy::booster_sleep_fraction(int half_hour_bin) noexcept {
 
 bool EnergySavingPolicy::is_active(const RadioSector& sector, int day,
                                    int half_hour_bin) const noexcept {
-  (void)day;  // the shutdown ranking is stable across the study period
+  if (override_ != nullptr && override_->forced_off(sector, day, half_hour_bin)) {
+    return false;
+  }
   if (!sector.capacity_booster) return true;
   // Stable per-sector rank in [0,1): low-ranked boosters sleep first, so the
   // same sectors carry the overnight savings every day.

@@ -15,9 +15,29 @@
 
 namespace tl::topology {
 
+/// External veto over sector availability: the fault-injection schedule
+/// implements this so scripted outages flow through the same `is_active`
+/// gate as organic energy saving (dependency-inverted — topology knows the
+/// interface, faults provides the implementation).
+class SectorAvailabilityOverride {
+ public:
+  virtual ~SectorAvailabilityOverride() = default;
+  /// True when `sector` must be treated as off-air during this half-hour bin.
+  virtual bool forced_off(const RadioSector& sector, int day,
+                          int half_hour_bin) const noexcept = 0;
+};
+
 class EnergySavingPolicy {
  public:
   explicit EnergySavingPolicy(std::uint64_t seed = 0x5a5a) : seed_(seed) {}
+
+  /// Installs (or clears, with nullptr) an availability veto; borrowed.
+  void set_availability_override(const SectorAvailabilityOverride* override_hook) noexcept {
+    override_ = override_hook;
+  }
+  const SectorAvailabilityOverride* availability_override() const noexcept {
+    return override_;
+  }
 
   /// Fraction of the booster fleet allowed to sleep in this half-hour bin
   /// (0 = all boosters on). Deterministic daily shape; identical for
@@ -34,6 +54,7 @@ class EnergySavingPolicy {
 
  private:
   std::uint64_t seed_;
+  const SectorAvailabilityOverride* override_ = nullptr;
 };
 
 }  // namespace tl::topology

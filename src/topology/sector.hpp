@@ -15,6 +15,12 @@ namespace tl::topology {
 using SiteId = std::uint32_t;
 using SectorId = std::uint32_t;
 
+/// Sentinel ids for "no such sector/site" lookups; every layer that can fail
+/// to locate a sector (simulator serving chain, fault scopes, validators)
+/// shares these instead of minting per-file duplicates.
+inline constexpr SectorId kInvalidSector = 0xffffffffu;
+inline constexpr SiteId kInvalidSite = 0xffffffffu;
+
 struct CellSite {
   SiteId id = 0;
   tl::util::GeoPoint location;

@@ -1,0 +1,526 @@
+// Fault-injection, recovery and degradation-tolerance tests: determinism
+// under a fixed seed, outage suppression in the serving-sector lookup,
+// recovery backoff caps and re-attempt records, quarantine counters, and
+// day-checkpoint resume equivalence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "faults/recovery.hpp"
+#include "faults/scenarios.hpp"
+#include "telemetry/aggregates.hpp"
+#include "telemetry/signaling_dataset.hpp"
+
+namespace tl::faults {
+namespace {
+
+using core::DayCheckpoint;
+using core::Simulator;
+using core::StudyConfig;
+using telemetry::HandoverRecord;
+using topology::kInvalidSector;
+
+StudyConfig small_config() {
+  StudyConfig cfg = StudyConfig::test_scale();
+  cfg.days = 2;
+  cfg.population.count = 1'500;
+  return cfg;
+}
+
+std::vector<HandoverRecord> run_records(const StudyConfig& cfg,
+                                        const FaultSchedule* schedule = nullptr) {
+  Simulator sim{cfg};
+  if (schedule != nullptr) sim.set_fault_schedule(schedule);
+  telemetry::SignalingDataset dataset;
+  sim.add_sink(&dataset);
+  sim.run();
+  return {dataset.records().begin(), dataset.records().end()};
+}
+
+void expect_identical(const std::vector<HandoverRecord>& a,
+                      const std::vector<HandoverRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp) << "record " << i;
+    ASSERT_EQ(a[i].success, b[i].success) << "record " << i;
+    ASSERT_EQ(a[i].duration_ms, b[i].duration_ms) << "record " << i;
+    ASSERT_EQ(a[i].cause, b[i].cause) << "record " << i;
+    ASSERT_EQ(a[i].anon_user_id, b[i].anon_user_id) << "record " << i;
+    ASSERT_EQ(a[i].source_sector, b[i].source_sector) << "record " << i;
+    ASSERT_EQ(a[i].target_sector, b[i].target_sector) << "record " << i;
+    ASSERT_EQ(a[i].attempt, b[i].attempt) << "record " << i;
+  }
+}
+
+// --- schedule unit behaviour -------------------------------------------------
+
+TEST(FaultSchedule, EventWindowsAndScopes) {
+  FaultSchedule schedule;
+  schedule.add(sector_outage(7, at_hour(0, 10.0), at_hour(0, 14.0)));
+  schedule.add(vendor_bug_wave(topology::Vendor::kV2, at_hour(1, 0.0), at_hour(2, 0.0), 5.0));
+  schedule.add(signaling_storm(geo::Region::kWest, at_hour(0, 8.0), at_hour(0, 9.0), 0.4));
+  schedule.add(core_overload_storm(geo::Region::kWest, at_hour(0, 8.0), at_hour(0, 9.0),
+                                   3.0, 0.2));
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_EQ(schedule.size(), 4u);
+  EXPECT_EQ(schedule.outages().size(), 1u);
+  EXPECT_EQ(schedule.modifiers().size(), 3u);
+
+  // Outage matches only its sector, only inside the window.
+  EXPECT_TRUE(schedule.sector_out(7, 0, at_hour(0, 12.0)));
+  EXPECT_FALSE(schedule.sector_out(7, 0, at_hour(0, 9.9)));
+  EXPECT_FALSE(schedule.sector_out(7, 0, at_hour(0, 14.0)));  // end exclusive
+  EXPECT_FALSE(schedule.sector_out(8, 0, at_hour(0, 12.0)));
+
+  // Bug wave multiplies only the matching vendor inside the window.
+  EXPECT_DOUBLE_EQ(
+      schedule.hof_multiplier(0, topology::Vendor::kV2, geo::Region::kNorth, at_hour(1, 6.0)),
+      5.0);
+  EXPECT_DOUBLE_EQ(
+      schedule.hof_multiplier(0, topology::Vendor::kV1, geo::Region::kNorth, at_hour(1, 6.0)),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      schedule.hof_multiplier(0, topology::Vendor::kV2, geo::Region::kNorth, at_hour(0, 6.0)),
+      1.0);
+
+  // Storm boosts stack; only the core storm carries a HOF multiplier.
+  EXPECT_DOUBLE_EQ(schedule.overload_boost(geo::Region::kWest, at_hour(0, 8.5)),
+                   0.4 + 0.2);
+  EXPECT_DOUBLE_EQ(schedule.overload_boost(geo::Region::kNorth, at_hour(0, 8.5)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      schedule.hof_multiplier(0, topology::Vendor::kV1, geo::Region::kWest, at_hour(0, 8.5)),
+      3.0);
+}
+
+TEST(FaultSchedule, ForcedOffCoversOverlappingBins) {
+  FaultSchedule schedule;
+  // 10:15-10:45 overlaps bins 20 ([10:00,10:30)) and 21 ([10:30,11:00)).
+  schedule.add(sector_outage(3, at_hour(0, 10.25), at_hour(0, 10.75)));
+  topology::RadioSector sector;
+  sector.id = 3;
+  sector.site = 1;
+  EXPECT_TRUE(schedule.forced_off(sector, 0, 20));
+  EXPECT_TRUE(schedule.forced_off(sector, 0, 21));
+  EXPECT_FALSE(schedule.forced_off(sector, 0, 19));
+  EXPECT_FALSE(schedule.forced_off(sector, 0, 22));
+  EXPECT_FALSE(schedule.forced_off(sector, 1, 20));
+  sector.id = 4;
+  EXPECT_FALSE(schedule.forced_off(sector, 0, 20));
+}
+
+TEST(Scenarios, SectorDayIncidentsAreSeedDeterministic) {
+  const StudyConfig cfg = small_config();
+  const Simulator sim{cfg};
+  const Scenario a = sector_day_incidents(sim.deployment(), 3, 2.0, 99);
+  const Scenario b = sector_day_incidents(sim.deployment(), 3, 2.0, 99);
+  const Scenario c = sector_day_incidents(sim.deployment(), 3, 2.0, 100);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].sector, b.events[i].sector);
+    EXPECT_EQ(a.events[i].start, b.events[i].start);
+    EXPECT_EQ(a.events[i].end, b.events[i].end);
+  }
+  EXPECT_GT(a.events.size(), 0u);
+  bool differs = a.events.size() != c.events.size();
+  for (std::size_t i = 0; !differs && i < a.events.size(); ++i) {
+    differs = a.events[i].sector != c.events[i].sector || a.events[i].start != c.events[i].start;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// --- simulator integration ---------------------------------------------------
+
+TEST(FaultInjection, EmptyScheduleIsByteIdentical) {
+  const StudyConfig cfg = small_config();
+  const auto baseline = run_records(cfg);
+  const FaultSchedule empty;
+  const auto with_empty = run_records(cfg, &empty);
+  expect_identical(baseline, with_empty);
+}
+
+TEST(FaultInjection, SameScheduleSameSeedIsByteIdentical) {
+  const StudyConfig cfg = small_config();
+  FaultSchedule schedule;
+  schedule.add(vendor_bug_wave(topology::Vendor::kV1, at_hour(0, 6.0), at_hour(0, 18.0), 8.0));
+  schedule.add(signaling_storm(geo::Region::kCapital, at_hour(0, 8.0), at_hour(0, 10.0), 0.5));
+  const auto a = run_records(cfg, &schedule);
+  const auto b = run_records(cfg, &schedule);
+  expect_identical(a, b);
+}
+
+TEST(FaultInjection, OutageSuppressesSectorInsideWindowOnly) {
+  const StudyConfig cfg = small_config();
+  const auto baseline = run_records(cfg);
+
+  // Busiest day-0 target: the sector most exposed to the outage.
+  std::vector<std::uint64_t> day0_targets;
+  for (const auto& r : baseline) {
+    if (r.day() != 0) continue;
+    if (r.target_sector >= day0_targets.size()) day0_targets.resize(r.target_sector + 1, 0);
+    ++day0_targets[r.target_sector];
+  }
+  ASSERT_FALSE(day0_targets.empty());
+  topology::SectorId victim = 0;
+  for (topology::SectorId s = 0; s < day0_targets.size(); ++s) {
+    if (day0_targets[s] > day0_targets[victim]) victim = s;
+  }
+  ASSERT_GT(day0_targets[victim], 0u);
+
+  FaultSchedule schedule;
+  schedule.add(single_sector_drill(victim, 0, 0.0, 24.0).events.front());
+  const auto faulted = run_records(cfg, &schedule);
+
+  std::uint64_t in_window = 0, day1 = 0;
+  for (const auto& r : faulted) {
+    if (r.day() == 0 && (r.source_sector == victim || r.target_sector == victim)) {
+      ++in_window;
+    }
+    if (r.day() == 1 && (r.source_sector == victim || r.target_sector == victim)) ++day1;
+  }
+  EXPECT_EQ(in_window, 0u) << "outage window must fully suppress the sector";
+
+  std::uint64_t baseline_day1 = 0;
+  for (const auto& r : baseline) {
+    if (r.day() == 1 && (r.source_sector == victim || r.target_sector == victim)) {
+      ++baseline_day1;
+    }
+  }
+  // Day 1 is outside the window; per-day RNG streams are independent, so the
+  // sector's traffic there is byte-identical to baseline.
+  EXPECT_EQ(day1, baseline_day1);
+}
+
+TEST(FaultInjection, VendorBugWaveInflatesOnlyItsScope) {
+  const StudyConfig cfg = small_config();
+  const auto baseline = run_records(cfg);
+
+  FaultSchedule schedule;
+  schedule.add(vendor_bug_wave(topology::Vendor::kV1, at_hour(0, 0.0), at_hour(1, 0.0), 20.0));
+  const auto faulted = run_records(cfg, &schedule);
+
+  const auto day0_vendor_failures = [](const std::vector<HandoverRecord>& records,
+                                       topology::Vendor vendor) {
+    std::uint64_t failures = 0;
+    for (const auto& r : records) {
+      if (r.day() == 0 && r.vendor == vendor && !r.success) ++failures;
+    }
+    return failures;
+  };
+  EXPECT_GT(day0_vendor_failures(faulted, topology::Vendor::kV1),
+            2 * day0_vendor_failures(baseline, topology::Vendor::kV1));
+
+  // Day 1 (outside the wave) is byte-identical: days are independent units.
+  std::vector<HandoverRecord> base_day1, fault_day1;
+  for (const auto& r : baseline) {
+    if (r.day() == 1) base_day1.push_back(r);
+  }
+  for (const auto& r : faulted) {
+    if (r.day() == 1) fault_day1.push_back(r);
+  }
+  expect_identical(base_day1, fault_day1);
+}
+
+TEST(FaultInjection, IncidentWindowAggregatorSeesTheDip) {
+  const StudyConfig cfg = small_config();
+  const auto baseline = run_records(cfg);
+  std::vector<std::uint64_t> targets;
+  for (const auto& r : baseline) {
+    if (r.day() != 0) continue;
+    if (r.target_sector >= targets.size()) targets.resize(r.target_sector + 1, 0);
+    ++targets[r.target_sector];
+  }
+  topology::SectorId victim = 0;
+  for (topology::SectorId s = 0; s < targets.size(); ++s) {
+    if (targets[s] > targets[victim]) victim = s;
+  }
+
+  const auto window_start = at_hour(0, 8.0);
+  const auto window_end = at_hour(0, 16.0);
+  FaultSchedule schedule;
+  schedule.add(sector_outage(victim, window_start, window_end));
+
+  Simulator sim{cfg};
+  sim.set_fault_schedule(&schedule);
+  telemetry::IncidentWindowAggregator window{window_start, window_end,
+                                             sim.deployment().sectors().size()};
+  sim.add_sink(&window);
+  sim.run();
+
+  using Phase = telemetry::IncidentWindowAggregator::Phase;
+  EXPECT_EQ(window.targeting(victim, Phase::kDuring), 0u);
+  EXPECT_GT(window.targeting(victim, Phase::kBefore) + window.targeting(victim, Phase::kAfter),
+            0u);
+  EXPECT_GT(window.national(Phase::kDuring).handovers, 0u);
+}
+
+// --- recovery ----------------------------------------------------------------
+
+TEST(Recovery, BackoffIsCappedExponential) {
+  RecoveryConfig cfg;
+  cfg.backoff_base_ms = 100.0;
+  cfg.backoff_factor = 2.0;
+  cfg.backoff_cap_ms = 500.0;
+  const RecoveryModel model{cfg};
+  EXPECT_DOUBLE_EQ(model.backoff_ms(1), 100.0);
+  EXPECT_DOUBLE_EQ(model.backoff_ms(2), 200.0);
+  EXPECT_DOUBLE_EQ(model.backoff_ms(3), 400.0);
+  EXPECT_DOUBLE_EQ(model.backoff_ms(4), 500.0);
+  EXPECT_DOUBLE_EQ(model.backoff_ms(10), 500.0);
+  EXPECT_DOUBLE_EQ(model.backoff_ms(0), 0.0);
+}
+
+TEST(Recovery, DecisionRespectsJitterBoundsAndAttemptCap) {
+  RecoveryConfig cfg;
+  cfg.p_reattempt_target = 1.0;
+  cfg.max_reattempts = 3;
+  cfg.backoff_base_ms = 100.0;
+  cfg.backoff_factor = 2.0;
+  cfg.backoff_cap_ms = 1'000.0;
+  cfg.backoff_jitter = 0.25;
+  const RecoveryModel model{cfg};
+  util::Rng rng{7};
+  for (int trial = 0; trial < 200; ++trial) {
+    const int k = 1 + trial % 3;
+    const RecoveryDecision d = model.decide(k, rng);
+    ASSERT_EQ(d.action, RecoveryAction::kReestablishTarget);
+    const double nominal = model.backoff_ms(k);
+    EXPECT_GE(d.backoff_ms, nominal * 0.75 - 1e-9);
+    EXPECT_LE(d.backoff_ms, nominal * 1.25 + 1e-9);
+  }
+  EXPECT_EQ(model.decide(4, rng).action, RecoveryAction::kFallbackToSource);
+}
+
+TEST(Recovery, EmitsDeterministicReattemptRecords) {
+  StudyConfig cfg = small_config();
+  cfg.days = 1;
+  cfg.recovery.enabled = true;
+  cfg.recovery.p_reattempt_target = 1.0;
+  const auto a = run_records(cfg);
+  const auto b = run_records(cfg);
+  expect_identical(a, b);
+
+  std::uint64_t reattempts = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& r = a[i];
+    if (r.attempt == 0) continue;
+    ++reattempts;
+    // A re-attempt record continues the chain of the record before it: same
+    // UE, same target, strictly later execution time.
+    ASSERT_GT(i, 0u);
+    const auto& prev = a[i - 1];
+    EXPECT_EQ(prev.anon_user_id, r.anon_user_id);
+    EXPECT_EQ(prev.target_sector, r.target_sector);
+    EXPECT_EQ(prev.attempt + 1, r.attempt);
+    EXPECT_FALSE(prev.success);
+    EXPECT_LT(prev.timestamp, r.timestamp);
+    EXPECT_LE(static_cast<int>(r.attempt), cfg.recovery.max_reattempts);
+  }
+  EXPECT_GT(reattempts, 0u) << "some failures must spawn re-attempt chains";
+
+  // Stock pipeline: no re-attempts ever.
+  StudyConfig stock = small_config();
+  stock.days = 1;
+  for (const auto& r : run_records(stock)) EXPECT_EQ(r.attempt, 0);
+}
+
+// --- degradation-tolerant telemetry ------------------------------------------
+
+TEST(ValidatingSink, QuarantinesMalformedRecordsWithCounters) {
+  telemetry::SignalingDataset inner;
+  telemetry::ValidationLimits limits;
+  limits.sector_count = 100;
+  telemetry::ValidatingSink sink{inner, limits, 8};
+
+  telemetry::HandoverRecord clean;
+  clean.timestamp = 1'000;
+  clean.source_sector = 1;
+  clean.target_sector = 2;
+  clean.success = true;
+  clean.cause = corenet::kCauseNone;
+  clean.duration_ms = 40.0f;
+  sink.consume(clean);
+
+  auto bad = clean;
+  bad.target_sector = kInvalidSector;
+  sink.consume(bad);
+  bad = clean;
+  bad.source_sector = 100;  // == sector_count: out of range
+  sink.consume(bad);
+  bad = clean;
+  bad.target_sector = clean.source_sector;
+  sink.consume(bad);
+  bad = clean;
+  bad.duration_ms = -1.0f;
+  sink.consume(bad);
+  bad = clean;
+  bad.timestamp = -5;
+  sink.consume(bad);
+  bad = clean;
+  bad.success = false;  // failure without a cause
+  sink.consume(bad);
+  bad = clean;
+  bad.cause = corenet::kCause8RelocationTimeout;  // success with a cause
+  sink.consume(bad);
+
+  // Close day 0, then feed a day-0 straggler: time regression.
+  sink.on_day_end(0);
+  sink.consume(clean);
+
+  using telemetry::RecordDefect;
+  EXPECT_EQ(sink.forwarded(), 1u);
+  EXPECT_EQ(sink.quarantined(), 8u);
+  EXPECT_EQ(inner.size(), 1u);
+  EXPECT_EQ(sink.count(RecordDefect::kBadSectorId), 2u);
+  EXPECT_EQ(sink.count(RecordDefect::kSelfHandover), 1u);
+  EXPECT_EQ(sink.count(RecordDefect::kBadDuration), 1u);
+  EXPECT_EQ(sink.count(RecordDefect::kBadTimestamp), 1u);
+  EXPECT_EQ(sink.count(RecordDefect::kCauseMismatch), 2u);
+  EXPECT_EQ(sink.count(RecordDefect::kTimeRegression), 1u);
+  EXPECT_EQ(sink.quarantine_sample().size(), 8u);
+  EXPECT_EQ(sink.completed_day(), 0);
+
+  // A day-1 record passes after the watermark moved.
+  auto later = clean;
+  later.timestamp = util::kMsPerDay + 1'000;
+  sink.consume(later);
+  EXPECT_EQ(sink.forwarded(), 2u);
+}
+
+TEST(ValidatingSink, IsTransparentForTheOrganicStream) {
+  StudyConfig cfg = small_config();
+  cfg.days = 1;
+  const auto baseline = run_records(cfg);
+
+  Simulator sim{cfg};
+  telemetry::SignalingDataset inner;
+  telemetry::ValidationLimits limits;
+  limits.sector_count =
+      static_cast<std::uint32_t>(sim.deployment().sectors().size());
+  telemetry::ValidatingSink sink{inner, limits};
+  sim.add_sink(&sink);
+  sim.run();
+
+  EXPECT_EQ(sink.quarantined(), 0u);
+  EXPECT_EQ(sink.forwarded(), baseline.size());
+  expect_identical(baseline, {inner.records().begin(), inner.records().end()});
+}
+
+// --- checkpoint / resume -----------------------------------------------------
+
+TEST(Checkpoint, ResumeEmitsIdenticalRecords) {
+  const StudyConfig cfg = small_config();  // 2 days
+
+  telemetry::SignalingDataset uninterrupted;
+  Simulator full{cfg};
+  full.add_sink(&uninterrupted);
+  full.run();
+
+  // "Crash" after day 0: day 0 records from the first instance...
+  telemetry::SignalingDataset part0;
+  Simulator first{cfg};
+  first.add_sink(&part0);
+  first.run_day(0);
+  EXPECT_EQ(first.next_day(), 1);
+  const DayCheckpoint cp = first.checkpoint();
+
+  // ...and the rest from a fresh instance restored from the checkpoint.
+  telemetry::SignalingDataset part1;
+  Simulator second{cfg};
+  second.restore(cp);
+  second.add_sink(&part1);
+  second.run();
+  EXPECT_EQ(second.next_day(), cfg.days);
+  EXPECT_EQ(second.records_emitted(), full.records_emitted());
+  for (const auto region : geo::kAllRegions) {
+    EXPECT_EQ(second.core_network().mme(region).handovers.procedures,
+              full.core_network().mme(region).handovers.procedures);
+  }
+
+  std::vector<HandoverRecord> stitched{part0.records().begin(), part0.records().end()};
+  stitched.insert(stitched.end(), part1.records().begin(), part1.records().end());
+  expect_identical({uninterrupted.records().begin(), uninterrupted.records().end()},
+                   stitched);
+}
+
+TEST(Checkpoint, FileRoundTripAndValidation) {
+  const std::string path = ::testing::TempDir() + "telcolens_ckpt_test.checkpoint";
+  std::remove(path.c_str());
+
+  StudyConfig cfg = small_config();
+  cfg.checkpoint_path = path;
+
+  telemetry::SignalingDataset uninterrupted;
+  {
+    StudyConfig plain = small_config();
+    Simulator full{plain};
+    full.add_sink(&uninterrupted);
+    full.run();
+  }
+
+  // First instance completes day 0 and "crashes" (falls out of scope).
+  telemetry::SignalingDataset part0;
+  {
+    Simulator first{cfg};
+    first.add_sink(&part0);
+    first.run_day(0);
+    first.save_checkpoint(path);
+  }
+
+  // Second instance resumes from the file inside run().
+  telemetry::SignalingDataset part1;
+  Simulator second{cfg};
+  second.add_sink(&part1);
+  second.run();
+  EXPECT_EQ(second.next_day(), cfg.days);
+
+  std::vector<HandoverRecord> stitched{part0.records().begin(), part0.records().end()};
+  stitched.insert(stitched.end(), part1.records().begin(), part1.records().end());
+  expect_identical({uninterrupted.records().begin(), uninterrupted.records().end()},
+                   stitched);
+
+  // A finished run's checkpoint makes a further run() a no-op.
+  telemetry::SignalingDataset nothing;
+  Simulator third{cfg};
+  third.add_sink(&nothing);
+  third.run();
+  EXPECT_EQ(nothing.size(), 0u);
+
+  // Seed mismatch and corruption are rejected loudly.
+  StudyConfig other = cfg;
+  other.seed = 777;
+  Simulator mismatched{other};
+  EXPECT_THROW(mismatched.load_checkpoint(path), std::runtime_error);
+
+  {
+    std::ofstream os{path, std::ios::trunc};
+    os << "not a checkpoint\n";
+  }
+  Simulator fourth{cfg};
+  EXPECT_THROW(fourth.load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+
+  // Missing file: load returns false and run starts from day 0.
+  Simulator fifth{cfg};
+  EXPECT_FALSE(fifth.load_checkpoint(path));
+  EXPECT_EQ(fifth.next_day(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestoreRejectsMismatchedSeedAndRange) {
+  const StudyConfig cfg = small_config();
+  Simulator sim{cfg};
+  DayCheckpoint cp = sim.checkpoint();
+  cp.seed ^= 1;
+  EXPECT_THROW(sim.restore(cp), std::invalid_argument);
+  cp = sim.checkpoint();
+  cp.next_day = cfg.days + 1;
+  EXPECT_THROW(sim.restore(cp), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tl::faults
