@@ -1,0 +1,111 @@
+#include "core/checkpoint_codec.hpp"
+
+#include <stdexcept>
+
+#include "util/crc32c.hpp"
+
+namespace tl::core {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'T', 'L', 'C', 'P'};
+constexpr std::uint16_t kVersion = 1;
+
+void put_u16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& v, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+// magic + version + next_day + seed + records + 13 counters per region + crc
+constexpr std::size_t kRegionCounters = 13;
+constexpr std::size_t kEncodedSize =
+    4 + 2 + 4 + 8 + 8 + geo::kAllRegions.size() * kRegionCounters * 8 + 4;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint(const DayCheckpoint& cp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kEncodedSize);
+  out.insert(out.end(), kMagic, kMagic + sizeof kMagic);
+  put_u16(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(cp.next_day));
+  put_u64(out, cp.seed);
+  put_u64(out, cp.records_emitted);
+  for (const auto region : geo::kAllRegions) {
+    const auto& mme = cp.core.mme(region);
+    const auto& sgsn = cp.core.sgsn(region);
+    const auto& msc = cp.core.msc(region);
+    const auto& sgw = cp.core.sgw(region);
+    put_u64(out, mme.handovers.procedures);
+    put_u64(out, mme.handovers.successes);
+    put_u64(out, mme.handovers.failures);
+    put_u64(out, mme.path_switches.procedures);
+    put_u64(out, mme.path_switches.successes);
+    put_u64(out, mme.path_switches.failures);
+    put_u64(out, sgsn.relocations.procedures);
+    put_u64(out, sgsn.relocations.successes);
+    put_u64(out, sgsn.relocations.failures);
+    put_u64(out, msc.srvcc.procedures);
+    put_u64(out, msc.srvcc.successes);
+    put_u64(out, msc.srvcc.failures);
+    put_u64(out, sgw.bearer_modifications);
+  }
+  put_u32(out, util::mask_crc32c(util::crc32c(out.data(), out.size())));
+  return out;
+}
+
+DayCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  const auto corrupt = [] {
+    return std::runtime_error{"decode_checkpoint: corrupt checkpoint bytes"};
+  };
+  if (bytes.size() != kEncodedSize) throw corrupt();
+  const std::uint8_t* p = bytes.data();
+  if (p[0] != kMagic[0] || p[1] != kMagic[1] || p[2] != kMagic[2] || p[3] != kMagic[3]) {
+    throw corrupt();
+  }
+  if ((p[4] | (p[5] << 8)) != kVersion) throw corrupt();
+  const std::uint32_t stored = util::unmask_crc32c(get_u32(p + kEncodedSize - 4));
+  if (stored != util::crc32c(p, kEncodedSize - 4)) throw corrupt();
+
+  DayCheckpoint cp;
+  cp.next_day = static_cast<int>(get_u32(p + 6));
+  cp.seed = get_u64(p + 10);
+  cp.records_emitted = get_u64(p + 18);
+  std::size_t offset = 26;
+  for (const auto region : geo::kAllRegions) {
+    auto& mme = cp.core.mme(region);
+    auto& sgsn = cp.core.sgsn(region);
+    auto& msc = cp.core.msc(region);
+    auto& sgw = cp.core.sgw(region);
+    std::uint64_t* fields[kRegionCounters] = {
+        &mme.handovers.procedures,   &mme.handovers.successes,
+        &mme.handovers.failures,     &mme.path_switches.procedures,
+        &mme.path_switches.successes, &mme.path_switches.failures,
+        &sgsn.relocations.procedures, &sgsn.relocations.successes,
+        &sgsn.relocations.failures,  &msc.srvcc.procedures,
+        &msc.srvcc.successes,        &msc.srvcc.failures,
+        &sgw.bearer_modifications};
+    for (auto* field : fields) {
+      *field = get_u64(p + offset);
+      offset += 8;
+    }
+  }
+  return cp;
+}
+
+}  // namespace tl::core

@@ -1,0 +1,29 @@
+#pragma once
+
+// Binary (de)serialization of DayCheckpoint for embedding inside the durable
+// record log's day commit markers.
+//
+// Persisting the checkpoint *inside* the marker is what makes "records
+// through day D" and "resume state after day D" a single atomic unit: the
+// marker frame either survives (CRC-valid, behind an fsync) carrying both,
+// or recovery discards both together. There is no ordering window between
+// two files to reconcile. The standalone text checkpoint file
+// (Simulator::save_checkpoint) remains as a human-readable secondary for
+// runs without a durable log.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace tl::core {
+
+/// Fixed-layout little-endian encoding with a CRC32C trailer.
+std::vector<std::uint8_t> encode_checkpoint(const DayCheckpoint& checkpoint);
+
+/// Throws std::runtime_error on truncation, bad magic/version, or CRC
+/// mismatch — a corrupt checkpoint never partially restores.
+DayCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes);
+
+}  // namespace tl::core

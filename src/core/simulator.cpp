@@ -1,12 +1,17 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "core/checkpoint_codec.hpp"
+#include "io/file.hpp"
 #include "mobility/metrics.hpp"
 #include "ran/propagation.hpp"
+#include "util/crc32c.hpp"
 
 namespace tl::core {
 
@@ -107,15 +112,49 @@ void Simulator::add_metrics_sink(telemetry::MetricsSink* sink) {
   metrics_sinks_.push_back(sink);
 }
 
+void Simulator::remove_sink(telemetry::RecordSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+  if (durable_ == sink) durable_ = nullptr;
+}
+
 void Simulator::set_fault_schedule(const faults::FaultSchedule* schedule) {
   faults_ = schedule;
   energy_.set_availability_override(schedule);
   failure_model_.set_fault_schedule(schedule);
 }
 
+void Simulator::attach_durable_log(telemetry::DurableRecordSink* sink) {
+  if (sink == nullptr) {
+    throw std::invalid_argument{"Simulator::attach_durable_log: null sink"};
+  }
+  add_sink(sink);
+  durable_ = sink;
+  sink->set_checkpoint_provider([this] { return encode_checkpoint(checkpoint()); });
+}
+
 void Simulator::run() {
-  if (!config_.checkpoint_path.empty() && next_day_ == 0) {
-    load_checkpoint(config_.checkpoint_path);
+  if (next_day_ == 0) {
+    if (durable_ != nullptr) {
+      // The durable log is the authoritative resume source: the checkpoint
+      // embedded in its last committed day marker is, by construction, in
+      // lockstep with the record bytes that precede it.
+      auto& log = durable_->log();
+      if (!log.is_open()) log.open();
+      const telemetry::LogRecoveryReport& recovered = log.recovery();
+      if (!recovered.app_state.empty()) {
+        const DayCheckpoint cp = decode_checkpoint(recovered.app_state);
+        if (cp.seed != config_.seed) {
+          throw std::runtime_error{"Simulator::run: record log checkpoint seed mismatch"};
+        }
+        if (cp.next_day != recovered.last_committed_day + 1) {
+          throw std::runtime_error{
+              "Simulator::run: record log marker day disagrees with its checkpoint"};
+        }
+        restore(cp);
+      }
+    } else if (!config_.checkpoint_path.empty()) {
+      load_checkpoint(config_.checkpoint_path);
+    }
   }
   for (int day = next_day_; day < config_.days; ++day) {
     run_day(day);
@@ -145,39 +184,82 @@ void Simulator::restore(const DayCheckpoint& checkpoint) {
 }
 
 void Simulator::save_checkpoint(const std::string& path) const {
-  // Write-then-rename would need platform glue; a short text file written in
-  // one shot is atomic enough for the single-process pipeline, and the
-  // loader rejects anything truncated or mismatched.
-  std::ofstream os{path, std::ios::trunc};
-  if (!os) throw std::runtime_error{"save_checkpoint: cannot open " + path};
-  os << "telcolens-checkpoint v1\n";
-  os << "seed " << config_.seed << "\n";
-  os << "next_day " << next_day_ << "\n";
-  os << "records_emitted " << records_emitted_ << "\n";
+  // Crash-safe protocol: compose the payload (with a CRC32C trailer so the
+  // loader can reject bit rot, not just truncation), write it to a sibling
+  // temp file, fsync, then rename over the target. A crash at any point
+  // leaves either the old checkpoint or the new one — never a torn mix.
+  std::ostringstream body;
+  body << "telcolens-checkpoint v2\n";
+  body << "seed " << config_.seed << "\n";
+  body << "next_day " << next_day_ << "\n";
+  body << "records_emitted " << records_emitted_ << "\n";
   for (const auto region : geo::kAllRegions) {
     const auto& mme = core_.mme(region);
     const auto& sgsn = core_.sgsn(region);
     const auto& msc = core_.msc(region);
     const auto& sgw = core_.sgw(region);
-    os << "region " << static_cast<int>(region) << " " << mme.handovers.procedures << " "
-       << mme.handovers.successes << " " << mme.handovers.failures << " "
-       << mme.path_switches.procedures << " " << mme.path_switches.successes << " "
-       << mme.path_switches.failures << " " << sgsn.relocations.procedures << " "
-       << sgsn.relocations.successes << " " << sgsn.relocations.failures << " "
-       << msc.srvcc.procedures << " " << msc.srvcc.successes << " "
-       << msc.srvcc.failures << " " << sgw.bearer_modifications << "\n";
+    body << "region " << static_cast<int>(region) << " " << mme.handovers.procedures
+         << " " << mme.handovers.successes << " " << mme.handovers.failures << " "
+         << mme.path_switches.procedures << " " << mme.path_switches.successes << " "
+         << mme.path_switches.failures << " " << sgsn.relocations.procedures << " "
+         << sgsn.relocations.successes << " " << sgsn.relocations.failures << " "
+         << msc.srvcc.procedures << " " << msc.srvcc.successes << " "
+         << msc.srvcc.failures << " " << sgw.bearer_modifications << "\n";
   }
-  if (!os) throw std::runtime_error{"save_checkpoint: write failed on " + path};
+  std::string payload = body.str();
+  char trailer[16];
+  std::snprintf(trailer, sizeof trailer, "crc %08x\n",
+                util::crc32c(payload.data(), payload.size()));
+  payload += trailer;
+
+  const std::string tmp = path + ".tmp";
+  auto& fs = io::StdioFileSystem::instance();
+  try {
+    auto file = fs.open(tmp, io::OpenMode::kTruncate);
+    if (file->write(payload.data(), payload.size()) != payload.size()) {
+      throw io::IoError{"short write (device full?)"};
+    }
+    file->sync();
+    file->close();
+    fs.rename(tmp, path);
+  } catch (const io::IoError& error) {
+    if (fs.exists(tmp)) fs.remove(tmp);
+    throw std::runtime_error{"save_checkpoint: " + std::string{error.what()} + " on " +
+                             path};
+  }
 }
 
 bool Simulator::load_checkpoint(const std::string& path) {
-  std::ifstream is{path};
-  if (!is) return false;  // no checkpoint yet: start from day 0
+  std::ifstream file{path, std::ios::binary};
+  if (!file) return false;  // no checkpoint yet: start from day 0
   const auto corrupt = [&path]() -> std::runtime_error {
     return std::runtime_error{"load_checkpoint: corrupt checkpoint " + path};
   };
+  // Verify the CRC trailer over the raw bytes before parsing anything:
+  // truncation, bit flips, and trailing garbage all fail here, and no
+  // simulator state is touched until the whole file has validated.
+  std::ostringstream slurp;
+  slurp << file.rdbuf();
+  const std::string content = slurp.str();
+  const std::size_t crc_pos = content.rfind("\ncrc ");
+  if (crc_pos == std::string::npos) throw corrupt();
+  const std::string payload = content.substr(0, crc_pos + 1);
+  unsigned long stored_crc = 0;
+  try {
+    std::size_t digits = 0;
+    stored_crc = std::stoul(content.substr(crc_pos + 5), &digits, 16);
+    if (digits == 0) throw corrupt();
+  } catch (const std::logic_error&) {
+    throw corrupt();
+  }
+  char expected_trailer[16];
+  std::snprintf(expected_trailer, sizeof expected_trailer, "crc %08lx\n", stored_crc);
+  if (content != payload + expected_trailer) throw corrupt();  // trailing garbage
+  if (stored_crc != util::crc32c(payload.data(), payload.size())) throw corrupt();
+
+  std::istringstream is{payload};
   std::string magic, version, key;
-  if (!(is >> magic >> version) || magic != "telcolens-checkpoint" || version != "v1") {
+  if (!(is >> magic >> version) || magic != "telcolens-checkpoint" || version != "v2") {
     throw corrupt();
   }
   DayCheckpoint cp;
@@ -223,10 +305,13 @@ void Simulator::run_day(int day) {
       simulate_legacy_ue_day(ue, plans_[ue.id], day);
     }
   }
-  for (auto* sink : sinks_) sink->on_day_end(day);
   // Sequential progress advances the checkpoint cursor; replaying an
-  // already-completed day leaves it alone.
+  // already-completed day leaves it alone. The cursor moves BEFORE the
+  // sinks' day-end hooks so a durable log's commit marker embeds the
+  // post-day checkpoint (resume point = day + 1) atomically with the
+  // day's records.
   if (day == next_day_) next_day_ = day + 1;
+  for (auto* sink : sinks_) sink->on_day_end(day);
 }
 
 topology::SectorId Simulator::locate_sector(const util::GeoPoint& position,

@@ -27,6 +27,7 @@
 #include "ran/coverage.hpp"
 #include "ran/load.hpp"
 #include "ran/target_selection.hpp"
+#include "telemetry/record_log.hpp"
 #include "telemetry/sinks.hpp"
 #include "topology/deployment.hpp"
 #include "topology/energy_saving.hpp"
@@ -51,6 +52,20 @@ class Simulator {
   /// Sinks are borrowed; they must outlive the simulator's run calls.
   void add_sink(telemetry::RecordSink* sink);
   void add_metrics_sink(telemetry::MetricsSink* sink);
+  /// Detaches a previously added record sink (no-op when absent); also
+  /// clears the durable-log coupling when `sink` is the attached log sink.
+  /// The world build dominates construction cost, so a long-lived simulator
+  /// swaps sinks between runs instead of being rebuilt.
+  void remove_sink(telemetry::RecordSink* sink);
+
+  /// Registers `sink` as a record sink AND couples it to the checkpoint
+  /// protocol: every day commit marker written by the log embeds this
+  /// simulator's serialized checkpoint, so the day cursor, core-network
+  /// counters, and record bytes become one atomic commit unit. run()
+  /// restores from the log's recovered state (which takes precedence over
+  /// `config().checkpoint_path`) — resuming after a kill at any byte offset
+  /// yields a record stream byte-identical to an uninterrupted run.
+  void attach_durable_log(telemetry::DurableRecordSink* sink);
 
   /// Installs (or clears, with nullptr) a borrowed fault-injection
   /// schedule: outages veto sectors in locate_sector (via the energy
@@ -138,6 +153,7 @@ class Simulator {
 
   std::vector<telemetry::RecordSink*> sinks_;
   std::vector<telemetry::MetricsSink*> metrics_sinks_;
+  telemetry::DurableRecordSink* durable_ = nullptr;
   std::uint64_t records_emitted_ = 0;
   int next_day_ = 0;
 };

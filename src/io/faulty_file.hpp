@@ -1,0 +1,112 @@
+#pragma once
+
+// Seeded I/O fault injection: the PR-1 fault-schedule philosophy pushed down
+// into the storage layer.
+//
+// FaultyFileSystem decorates a real FileSystem and injects faults against a
+// deterministic plan keyed to a global *mutating-operation counter* (every
+// write/flush/sync on any file advances it). Four fault kinds:
+//
+//  - kShortWrite:  a write persists only a prefix and returns the short
+//                  count (ENOSPC-style torn write, process survives).
+//  - kIoError:     the operation throws IoError (EIO; nothing persisted).
+//  - kSyncFailure: sync() throws IoError; the data MAY have reached disk but
+//                  the caller must not trust it (fsync contract).
+//  - kCrash:       process death. The current write persists only a seeded
+//                  prefix, every open file is rolled back to a seeded point
+//                  no earlier than its last successful sync (un-synced bytes
+//                  are fair game, exactly like a real kernel), the filesystem
+//                  goes dead, and SimulatedCrash is thrown. All further
+//                  operations on the dead filesystem throw SimulatedCrash.
+//
+// The chaos harness wraps the durable pipeline in one of these, lets it die
+// at a scheduled point, then re-opens the *real* filesystem to verify that
+// recovery restores a consistent prefix of the record stream.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/file.hpp"
+#include "util/rng.hpp"
+
+namespace tl::io {
+
+enum class IoFaultKind : std::uint8_t {
+  kShortWrite = 0,
+  kIoError,
+  kSyncFailure,
+  kCrash,
+};
+
+const char* to_string(IoFaultKind kind) noexcept;
+
+/// One scheduled fault: fires when the filesystem's mutating-op counter
+/// reaches `op_index` (ops are numbered from 0).
+struct IoFault {
+  std::uint64_t op_index = 0;
+  IoFaultKind kind = IoFaultKind::kCrash;
+};
+
+/// A deterministic fault schedule. Build explicitly with add(), or derive a
+/// seeded chaos plan with `chaos()`.
+class IoFaultPlan {
+ public:
+  IoFaultPlan() = default;
+
+  void add(std::uint64_t op_index, IoFaultKind kind) {
+    faults_.push_back({op_index, kind});
+  }
+
+  /// Seeded plan for the chaos harness: exactly one crash at a uniformly
+  /// drawn op in [0, horizon_ops), preceded by transient faults (short
+  /// writes / EIO / failed fsyncs) at the given per-op rate. The same
+  /// (seed, horizon) always yields the same plan.
+  static IoFaultPlan chaos(std::uint64_t seed, std::uint64_t horizon_ops,
+                           double transient_rate = 0.0);
+
+  /// The fault scheduled at `op_index`, or nullptr.
+  const IoFault* at(std::uint64_t op_index) const noexcept;
+
+  bool empty() const noexcept { return faults_.empty(); }
+  const std::vector<IoFault>& faults() const noexcept { return faults_; }
+
+ private:
+  std::vector<IoFault> faults_;
+};
+
+class FaultyFileSystem final : public FileSystem {
+ public:
+  /// Decorates `inner` (borrowed; must outlive this object). `seed` drives
+  /// the torn-write prefix lengths and rollback points.
+  FaultyFileSystem(FileSystem& inner, IoFaultPlan plan, std::uint64_t seed = 0);
+  ~FaultyFileSystem() override;
+
+  std::unique_ptr<File> open(const std::string& path, OpenMode mode) override;
+  bool exists(const std::string& path) override;
+  std::uint64_t file_size(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void create_directories(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir,
+                                const std::string& prefix) override;
+
+  /// Mutating operations performed so far (the fault-plan time base).
+  std::uint64_t ops() const noexcept;
+  /// True once a kCrash fault has fired; every subsequent operation throws
+  /// SimulatedCrash.
+  bool dead() const noexcept;
+  /// Faults that have fired so far, in order.
+  const std::vector<IoFault>& fired() const noexcept;
+
+  /// Shared fault-injection state (opaque; public only so the decorated
+  /// file handles defined in the implementation can reach it).
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace tl::io

@@ -1,0 +1,396 @@
+#include "telemetry/record_log.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32c.hpp"
+
+namespace tl::telemetry {
+namespace {
+
+// Frames larger than this are assumed to be garbage lengths read from a torn
+// header, not real payloads (a full bench-scale day is far smaller).
+constexpr std::uint32_t kMaxFrameLen = 1u << 28;
+
+void put_u8(std::vector<std::uint8_t>& v, std::uint8_t x) { v.push_back(x); }
+void put_u16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& v, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+/// Writes `data` in `chunk` slices, treating any short write as a failed
+/// durable write (ENOSPC-style): the commit must not pretend it happened.
+void write_fully(io::File& file, std::span<const std::uint8_t> data,
+                 std::size_t chunk) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t n = std::min(chunk, data.size() - offset);
+    const std::size_t written = file.write(data.data() + offset, n);
+    if (written < n) {
+      throw io::IoError{"record log: short write (device full?)"};
+    }
+    offset += n;
+  }
+}
+
+struct VectorSink final : RecordSink {
+  std::vector<HandoverRecord> records;
+  void consume(const HandoverRecord& record) override { records.push_back(record); }
+};
+
+}  // namespace
+
+RecordLog::RecordLog(io::FileSystem& fs, Options options)
+    : fs_(fs), options_(std::move(options)) {
+  if (options_.directory.empty()) {
+    throw std::invalid_argument{"RecordLog: empty directory"};
+  }
+  if (options_.write_chunk_bytes == 0) options_.write_chunk_bytes = 4096;
+  if (options_.max_segment_bytes < kSegmentHeaderSize + kFrameHeaderSize) {
+    throw std::invalid_argument{"RecordLog: max_segment_bytes too small"};
+  }
+}
+
+RecordLog::~RecordLog() = default;
+
+std::string RecordLog::segment_name(std::uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "wal-%05u.tlseg", index);
+  return buf;
+}
+
+std::string RecordLog::segment_path(std::uint32_t index) const {
+  return options_.directory + "/" + segment_name(index);
+}
+
+void RecordLog::write_segment_header(io::File& file, std::uint32_t index) {
+  std::vector<std::uint8_t> header;
+  header.reserve(kSegmentHeaderSize);
+  header.insert(header.end(), kMagic, kMagic + sizeof kMagic);
+  put_u32(header, index);
+  put_u32(header, util::mask_crc32c(util::crc32c(header.data(), header.size())));
+  write_fully(file, header, options_.write_chunk_bytes);
+  file.sync();
+}
+
+void RecordLog::append_frame(std::uint8_t type, std::span<const std::uint8_t> payload) {
+  put_u32(day_buffer_, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = util::crc32c(&type, 1);
+  crc = util::crc32c(payload.data(), payload.size(), crc);
+  put_u32(day_buffer_, util::mask_crc32c(crc));
+  put_u8(day_buffer_, type);
+  day_buffer_.insert(day_buffer_.end(), payload.begin(), payload.end());
+}
+
+void RecordLog::append(const HandoverRecord& record) {
+  if (!open_) throw std::logic_error{"RecordLog::append: log not open"};
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kRecordEncodedSize);
+  encode_record(record, payload);
+  append_frame(kRecordFrame, payload);
+  ++buffered_records_;
+}
+
+void RecordLog::commit_day(int day, std::span<const std::uint8_t> app_state) {
+  if (!open_) throw std::logic_error{"RecordLog::commit_day: log not open"};
+  if (day <= last_committed_day_) {
+    throw std::logic_error{"RecordLog::commit_day: day " + std::to_string(day) +
+                           " already committed (last: " +
+                           std::to_string(last_committed_day_) + ")"};
+  }
+  std::vector<std::uint8_t> marker;
+  marker.reserve(24 + app_state.size());
+  put_u32(marker, static_cast<std::uint32_t>(day));
+  put_u64(marker, buffered_records_);
+  put_u64(marker, committed_records_ + buffered_records_);
+  put_u32(marker, static_cast<std::uint32_t>(app_state.size()));
+  marker.insert(marker.end(), app_state.begin(), app_state.end());
+  append_frame(kDayMarkerFrame, marker);
+
+  // Disarm until the commit (and any segment roll) fully succeeds: if an
+  // exception escapes below, the on-disk state is indeterminate and the
+  // caller must re-open (recovery discards whatever partially landed).
+  open_ = false;
+  write_fully(*current_, day_buffer_, options_.write_chunk_bytes);
+  current_->sync();  // the day marker reaching disk IS the commit point
+
+  segment_size_ += day_buffer_.size();
+  committed_records_ += buffered_records_;
+  last_committed_day_ = day;
+  day_buffer_.clear();
+  buffered_records_ = 0;
+  if (segment_size_ >= options_.max_segment_bytes) roll_segment();
+  open_ = true;
+}
+
+void RecordLog::roll_segment() {
+  current_->close();
+  current_.reset();
+  ++segment_index_;
+  current_ = fs_.open(segment_path(segment_index_), io::OpenMode::kTruncate);
+  write_segment_header(*current_, segment_index_);
+  segment_size_ = kSegmentHeaderSize;
+}
+
+// --- recovery / replay -------------------------------------------------------
+
+/// Forward scan over the segment chain. Stops at the first invalid byte —
+/// truncated frame, CRC mismatch, bad header, non-contiguous segment — and
+/// reports the position of the last committed day marker before it.
+struct RecordLog::Scan {
+  std::vector<std::string> segments;  // listing at scan time, sorted
+  std::vector<std::uint64_t> sizes;   // parallel to `segments`
+  bool first_header_valid = false;
+  bool any_marker = false;
+  std::size_t marker_seg = 0;            // segment holding the last marker
+  std::uint64_t marker_offset = 0;       // offset just past that marker frame
+  int last_day = -1;
+  std::uint64_t committed_records = 0;   // from the last marker
+  std::vector<std::uint8_t> app_state;   // from the last marker
+  std::uint64_t dropped_records = 0;     // complete record frames past it
+};
+
+RecordLog::Scan RecordLog::scan(io::FileSystem& fs, const std::string& directory,
+                                RecordSink* sink) {
+  Scan s;
+  s.segments = fs.list(directory, "wal-");
+  std::uint64_t records_seen = 0;        // record frames since log start
+  std::uint64_t records_since_marker = 0;
+  std::vector<HandoverRecord> pending;   // decoded records of the open day
+
+  bool torn = false;
+  for (std::size_t si = 0; si < s.segments.size() && !torn; ++si) {
+    const std::string path = directory + "/" + s.segments[si];
+    s.sizes.push_back(fs.file_size(path));
+    // The chain must be contiguous wal-00000, wal-00001, ...; anything else
+    // (a gap, a stray file) ends the valid prefix.
+    if (s.segments[si] != segment_name(static_cast<std::uint32_t>(si))) {
+      torn = true;
+      break;
+    }
+    auto file = fs.open(path, io::OpenMode::kRead);
+    const std::uint64_t size = s.sizes[si];
+
+    std::uint8_t header[kSegmentHeaderSize];
+    if (file->read(header, sizeof header) != sizeof header ||
+        std::memcmp(header, kMagic, sizeof kMagic) != 0 ||
+        get_u32(header + 8) != si ||
+        util::unmask_crc32c(get_u32(header + 12)) != util::crc32c(header, 12)) {
+      torn = true;  // torn/foreign header: this and all later segments drop
+      break;
+    }
+    if (si == 0) s.first_header_valid = true;
+
+    std::uint64_t offset = kSegmentHeaderSize;
+    std::vector<std::uint8_t> buf;
+    while (offset < size) {
+      std::uint8_t fh[kFrameHeaderSize];
+      if (offset + kFrameHeaderSize > size ||
+          file->read(fh, sizeof fh) != sizeof fh) {
+        torn = true;
+        break;
+      }
+      const std::uint32_t len = get_u32(fh);
+      const std::uint32_t stored_crc = util::unmask_crc32c(get_u32(fh + 4));
+      const std::uint8_t type = fh[8];
+      if (len > kMaxFrameLen || offset + kFrameHeaderSize + len > size) {
+        torn = true;
+        break;
+      }
+      buf.resize(len);
+      if (file->read(buf.data(), len) != len) {
+        torn = true;
+        break;
+      }
+      std::uint32_t crc = util::crc32c(&type, 1);
+      crc = util::crc32c(buf.data(), len, crc);
+      if (crc != stored_crc) {
+        torn = true;
+        break;
+      }
+      if (type == kRecordFrame && len == kRecordEncodedSize) {
+        ++records_seen;
+        ++records_since_marker;
+        if (sink != nullptr) pending.push_back(decode_record(buf));
+      } else if (type == kDayMarkerFrame && len >= 24 &&
+                 len == 24 + static_cast<std::uint64_t>(get_u32(buf.data() + 20))) {
+        const int day = static_cast<int>(get_u32(buf.data()));
+        const std::uint64_t in_day = get_u64(buf.data() + 4);
+        const std::uint64_t total = get_u64(buf.data() + 12);
+        if (in_day != records_since_marker || total != records_seen) {
+          // A CRC-valid marker whose counts disagree with the frames on disk
+          // means a writer bug or tampering, not a torn tail: fail loudly
+          // rather than silently serving a record stream of unknown shape.
+          throw io::IoError{"record log corrupt: marker record counts disagree "
+                            "with the frames preceding it (" +
+                            path + ")"};
+        }
+        s.any_marker = true;
+        s.marker_seg = si;
+        s.marker_offset = offset + kFrameHeaderSize + len;
+        s.last_day = day;
+        s.committed_records = total;
+        s.app_state.assign(buf.begin() + 24, buf.end());
+        records_since_marker = 0;
+        if (sink != nullptr) {
+          for (const auto& r : pending) sink->consume(r);
+          pending.clear();
+          sink->on_day_end(day);
+        }
+      } else {
+        torn = true;  // unknown frame type or malformed marker structure
+        break;
+      }
+      offset += kFrameHeaderSize + len;
+    }
+  }
+  s.dropped_records = records_since_marker;
+  return s;
+}
+
+LogRecoveryReport RecordLog::open() {
+  open_ = false;
+  current_.reset();
+  day_buffer_.clear();
+  buffered_records_ = 0;
+
+  fs_.create_directories(options_.directory);
+  LogRecoveryReport report;
+
+  const Scan s = scan(fs_, options_.directory, nullptr);
+  report.log_existed = !s.segments.empty();
+  report.last_committed_day = s.last_day;
+  report.committed_records = s.committed_records;
+  report.dropped_records = s.dropped_records;
+  report.app_state = s.app_state;
+
+  std::uint64_t bytes_before = 0;
+  for (std::size_t i = 0; i < s.sizes.size(); ++i) bytes_before += s.sizes[i];
+  // Unlisted trailing sizes (segments after a name-contiguity break) were
+  // never measured; measure them now so dropped_bytes is complete.
+  for (std::size_t i = s.sizes.size(); i < s.segments.size(); ++i) {
+    bytes_before += fs_.file_size(options_.directory + "/" + s.segments[i]);
+  }
+
+  // Discard everything past the last committed marker: truncate the marker's
+  // segment and delete every later file in the listing.
+  const std::size_t keep_seg = s.any_marker ? s.marker_seg : 0;
+  for (std::size_t i = s.segments.size(); i-- > keep_seg + 1;) {
+    fs_.remove(options_.directory + "/" + s.segments[i]);
+  }
+  std::uint64_t bytes_after = 0;
+  if (s.any_marker || s.first_header_valid) {
+    const std::uint64_t keep =
+        s.any_marker ? s.marker_offset : static_cast<std::uint64_t>(kSegmentHeaderSize);
+    fs_.truncate(segment_path(static_cast<std::uint32_t>(keep_seg)), keep);
+    segment_index_ = static_cast<std::uint32_t>(keep_seg);
+    segment_size_ = keep;
+    current_ = fs_.open(segment_path(segment_index_), io::OpenMode::kAppend);
+    for (std::size_t i = 0; i < keep_seg; ++i) bytes_after += s.sizes[i];
+    bytes_after += keep;
+  } else {
+    // Nothing usable (fresh directory, or segment 0's header itself is
+    // torn): start the chain over.
+    if (!s.segments.empty()) fs_.remove(options_.directory + "/" + s.segments[0]);
+    segment_index_ = 0;
+    current_ = fs_.open(segment_path(0), io::OpenMode::kTruncate);
+    write_segment_header(*current_, 0);
+    segment_size_ = kSegmentHeaderSize;
+  }
+  report.dropped_bytes = bytes_before - bytes_after;
+
+  last_committed_day_ = s.last_day;
+  committed_records_ = s.committed_records;
+  // A sealed tail segment means the crash hit between a commit and its
+  // roll; redo the roll so the byte layout matches an uninterrupted run.
+  if (segment_size_ >= options_.max_segment_bytes) roll_segment();
+  recovery_ = report;
+  open_ = true;
+  return report;
+}
+
+std::uint64_t RecordLog::replay(io::FileSystem& fs, const std::string& directory,
+                                RecordSink& sink) {
+  const Scan s = scan(fs, directory, &sink);
+  return s.committed_records;
+}
+
+std::vector<HandoverRecord> RecordLog::read_all(io::FileSystem& fs,
+                                                const std::string& directory) {
+  VectorSink sink;
+  replay(fs, directory, sink);
+  return std::move(sink.records);
+}
+
+// --- record codec ------------------------------------------------------------
+
+void RecordLog::encode_record(const HandoverRecord& r, std::vector<std::uint8_t>& out) {
+  put_u64(out, static_cast<std::uint64_t>(r.timestamp));
+  put_u64(out, r.anon_user_id);
+  put_u32(out, r.source_sector);
+  put_u32(out, r.target_sector);
+  put_u32(out, std::bit_cast<std::uint32_t>(r.duration_ms));
+  put_u32(out, r.postcode);
+  put_u32(out, r.district);
+  put_u16(out, r.cause);
+  put_u16(out, r.manufacturer);
+  put_u8(out, r.success ? 1 : 0);
+  put_u8(out, static_cast<std::uint8_t>(r.source_rat));
+  put_u8(out, static_cast<std::uint8_t>(r.target_rat));
+  put_u8(out, static_cast<std::uint8_t>(r.device_type));
+  put_u8(out, static_cast<std::uint8_t>(r.area));
+  put_u8(out, static_cast<std::uint8_t>(r.region));
+  put_u8(out, static_cast<std::uint8_t>(r.vendor));
+  put_u8(out, r.srvcc ? 1 : 0);
+  put_u8(out, r.attempt);
+}
+
+HandoverRecord RecordLog::decode_record(std::span<const std::uint8_t> payload) {
+  if (payload.size() != kRecordEncodedSize) {
+    throw std::runtime_error{"RecordLog::decode_record: bad payload size"};
+  }
+  const std::uint8_t* p = payload.data();
+  HandoverRecord r;
+  r.timestamp = static_cast<util::TimestampMs>(get_u64(p));
+  r.anon_user_id = get_u64(p + 8);
+  r.source_sector = get_u32(p + 16);
+  r.target_sector = get_u32(p + 20);
+  r.duration_ms = std::bit_cast<float>(get_u32(p + 24));
+  r.postcode = get_u32(p + 28);
+  r.district = get_u32(p + 32);
+  r.cause = get_u16(p + 36);
+  r.manufacturer = get_u16(p + 38);
+  r.success = p[40] != 0;
+  r.source_rat = static_cast<topology::ObservedRat>(p[41]);
+  r.target_rat = static_cast<topology::ObservedRat>(p[42]);
+  r.device_type = static_cast<devices::DeviceType>(p[43]);
+  r.area = static_cast<geo::AreaType>(p[44]);
+  r.region = static_cast<geo::Region>(p[45]);
+  r.vendor = static_cast<topology::Vendor>(p[46]);
+  r.srvcc = p[47] != 0;
+  r.attempt = p[48];
+  return r;
+}
+
+}  // namespace tl::telemetry

@@ -1,0 +1,173 @@
+#pragma once
+
+// Crash-consistent durable persistence for the handover record stream.
+//
+// The operator-side pipeline ingests ~8 TB of signaling records per day;
+// partial writes, torn files, and mid-run process death are operational
+// reality there. This module makes the bytes on disk trustworthy:
+//
+//  - RecordLog: a segmented, length-prefixed, CRC32C-framed binary
+//    write-ahead log of HandoverRecords. Records buffer in memory for the
+//    current study day; commit_day() appends the day's record frames plus a
+//    *day commit marker* (which embeds an opaque application checkpoint),
+//    then flushes and fsyncs — the marker hitting disk IS the commit point.
+//  - Recovery: open() scans segments front to back, stops at the first
+//    invalid byte (bad CRC, truncated frame, torn header), truncates the
+//    log back to the last committed day marker, and reports exactly what
+//    was dropped. The surviving log is always a committed-day prefix of an
+//    uninterrupted run — byte-identical to it, which the chaos harness
+//    (tests/test_durability.cpp) proves across seeded kill schedules.
+//  - Replay: a reader that streams the committed records back through the
+//    ordinary RecordSink interface, so every existing analysis entry point
+//    consumes a recovered log exactly like a live simulation.
+//
+// All I/O goes through io::FileSystem so the chaos harness can inject
+// short writes, EIO, failed fsyncs, and hard crash points underneath.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/file.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace tl::telemetry {
+
+/// What open() found and did. After a clean shutdown the dropped_* fields
+/// are zero; after a torn tail they say how much un-committed data the
+/// recovery discarded (the resumed run regenerates it deterministically).
+struct LogRecoveryReport {
+  bool log_existed = false;
+  int last_committed_day = -1;          // -1: nothing committed yet
+  std::uint64_t committed_records = 0;  // record frames behind the last marker
+  std::uint64_t dropped_bytes = 0;      // torn/uncommitted bytes truncated away
+  std::uint64_t dropped_records = 0;    // complete record frames among them
+  std::vector<std::uint8_t> app_state;  // checkpoint embedded in the last marker
+};
+
+class RecordLog {
+ public:
+  struct Options {
+    std::string directory;
+    /// Commit-aligned segment roll threshold: a segment that reaches this
+    /// size after a commit is sealed and a fresh one is started.
+    std::uint64_t max_segment_bytes = 64ull << 20;
+    /// Commits stream the day buffer in chunks of this size, so a crash can
+    /// land between any two chunks (more torn-write surface for chaos).
+    std::size_t write_chunk_bytes = 4096;
+  };
+
+  /// `fs` is borrowed and must outlive the log.
+  RecordLog(io::FileSystem& fs, Options options);
+  ~RecordLog();
+
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  /// Recovers the on-disk state (creating the directory and first segment
+  /// if absent) and arms the writer. Must be called before append/commit;
+  /// call again to re-arm after an IoError aborted a commit.
+  LogRecoveryReport open();
+  bool is_open() const noexcept { return open_; }
+  /// Report of the most recent open().
+  const LogRecoveryReport& recovery() const noexcept { return recovery_; }
+
+  /// Buffers one record for the current day. No I/O happens here.
+  void append(const HandoverRecord& record);
+
+  /// Durably commits the buffered day: record frames + a day marker carrying
+  /// `app_state` (e.g. a serialized simulator checkpoint), chunk-written,
+  /// flushed and fsynced. On any I/O failure the log disarms (recovery on
+  /// the next open() discards the partial commit) and the error propagates.
+  /// Days must be committed in increasing order.
+  void commit_day(int day, std::span<const std::uint8_t> app_state);
+
+  int last_committed_day() const noexcept { return last_committed_day_; }
+  std::uint64_t committed_records() const noexcept { return committed_records_; }
+  std::size_t buffered_records() const noexcept { return buffered_records_; }
+
+  /// Streams every committed record of the log at `directory` into `sink`,
+  /// calling sink.on_day_end() at each day marker — a recovered log replays
+  /// into the analysis entry points exactly like a live run. Returns the
+  /// number of records delivered. Uncommitted tail data is ignored (not
+  /// modified; use open() to truncate it).
+  static std::uint64_t replay(io::FileSystem& fs, const std::string& directory,
+                              RecordSink& sink);
+
+  /// Convenience: all committed records, in order.
+  static std::vector<HandoverRecord> read_all(io::FileSystem& fs,
+                                              const std::string& directory);
+
+  // --- wire format (exposed for tests and the design doc) ---
+  static constexpr char kMagic[8] = {'T', 'L', 'W', 'A', 'L', 'O', 'G', '1'};
+  static constexpr std::size_t kSegmentHeaderSize = 16;  // magic + index + crc
+  static constexpr std::size_t kFrameHeaderSize = 9;     // len + crc + type
+  static constexpr std::uint8_t kRecordFrame = 1;
+  static constexpr std::uint8_t kDayMarkerFrame = 2;
+  static constexpr std::size_t kRecordEncodedSize = 49;
+
+  static void encode_record(const HandoverRecord& record,
+                            std::vector<std::uint8_t>& out);
+  /// Throws std::runtime_error on a malformed payload.
+  static HandoverRecord decode_record(std::span<const std::uint8_t> payload);
+  static std::string segment_name(std::uint32_t index);
+
+ private:
+  struct Scan;
+  static Scan scan(io::FileSystem& fs, const std::string& directory,
+                   RecordSink* sink);
+  void append_frame(std::uint8_t type, std::span<const std::uint8_t> payload);
+  void roll_segment();
+  void write_segment_header(io::File& file, std::uint32_t index);
+  std::string segment_path(std::uint32_t index) const;
+
+  io::FileSystem& fs_;
+  Options options_;
+  LogRecoveryReport recovery_;
+  bool open_ = false;
+
+  std::unique_ptr<io::File> current_;  // append handle for the tail segment
+  std::uint32_t segment_index_ = 0;
+  std::uint64_t segment_size_ = 0;
+
+  int last_committed_day_ = -1;
+  std::uint64_t committed_records_ = 0;
+
+  std::vector<std::uint8_t> day_buffer_;  // framed records of the open day
+  std::size_t buffered_records_ = 0;
+};
+
+/// RecordSink adapter: buffers each simulated day into a RecordLog and
+/// commits it at on_day_end. When a checkpoint provider is set (the
+/// simulator installs one), its bytes ride inside the day marker, making
+/// "records through day D" and "resume state after day D" one atomic unit.
+class DurableRecordSink final : public RecordSink {
+ public:
+  using CheckpointProvider = std::function<std::vector<std::uint8_t>()>;
+
+  /// `log` is borrowed; open() it before the first simulated day.
+  explicit DurableRecordSink(RecordLog& log) : log_(log) {}
+
+  void set_checkpoint_provider(CheckpointProvider provider) {
+    provider_ = std::move(provider);
+  }
+
+  void consume(const HandoverRecord& record) override { log_.append(record); }
+  void on_day_end(int day) override {
+    std::vector<std::uint8_t> state;
+    if (provider_) state = provider_();
+    log_.commit_day(day, state);
+  }
+
+  RecordLog& log() noexcept { return log_; }
+  const RecordLog& log() const noexcept { return log_; }
+
+ private:
+  RecordLog& log_;
+  CheckpointProvider provider_;
+};
+
+}  // namespace tl::telemetry

@@ -1,6 +1,7 @@
 #include "telemetry/signaling_dataset.hpp"
 
 #include <ostream>
+#include <stdexcept>
 #include <string>
 
 #include "util/csv.hpp"
@@ -48,6 +49,12 @@ void SignalingDataset::export_csv(std::ostream& os) const {
                       std::to_string(r.district), std::string{geo::to_string(r.area)},
                       std::string{geo::to_string(r.region)},
                       std::string{topology::to_string(r.vendor)}});
+  }
+  // Flush so buffered failures (ENOSPC on the final block) surface here,
+  // not as a silently truncated export.
+  os.flush();
+  if (!os) {
+    throw std::runtime_error{"SignalingDataset::export_csv: stream write failed"};
   }
 }
 

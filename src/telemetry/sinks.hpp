@@ -54,6 +54,13 @@ class ValidatingSink final : public RecordSink {
   }
   /// Last day closed via on_day_end (-1 before the first).
   int completed_day() const noexcept { return completed_day_; }
+  /// Resume support: fast-forwards the day watermark (e.g. to a recovered
+  /// checkpoint's last completed day) so a resumed stream keeps rejecting
+  /// records that regress into days closed before the crash. Never moves
+  /// the watermark backwards.
+  void restore_watermark(int completed_day) noexcept {
+    if (completed_day > completed_day_) completed_day_ = completed_day;
+  }
 
  private:
   RecordSink& inner_;

@@ -1,0 +1,62 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace tl::util {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+struct Tables {
+  // tables[0] is the classic byte-at-a-time table; tables[1..7] extend it so
+  // eight input bytes fold into the CRC with eight independent loads.
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+Tables build_tables() noexcept {
+  Tables tables;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tables.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tables.t[0][i];
+    for (std::size_t slice = 1; slice < 8; ++slice) {
+      crc = tables.t[0][crc & 0xffu] ^ (crc >> 8);
+      tables.t[slice][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Tables& tables() noexcept {
+  static const Tables t = build_tables();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t crc) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = tables().t;
+  crc = ~crc;
+  while (size >= 8) {
+    crc ^= static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][crc & 0xffu] ^ t[6][(crc >> 8) & 0xffu] ^ t[5][(crc >> 16) & 0xffu] ^
+          t[4][crc >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace tl::util

@@ -2,6 +2,7 @@
 
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 
 namespace tl::util {
 
@@ -27,6 +28,11 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
     os_ << escape(cells[i], sep_);
   }
   os_ << '\n';
+  // A silently short CSV (ENOSPC mid-export) poisons every downstream
+  // analysis that reads it; surface stream failure at the row that hit it.
+  if (!os_) {
+    throw std::runtime_error{"CsvWriter: stream write failed (device full?)"};
+  }
 }
 
 std::vector<std::string> parse_csv_line(std::string_view line, char sep) {

@@ -55,7 +55,10 @@ std::string TextTable::to_string() const {
   return out.str();
 }
 
-void TextTable::print(std::ostream& os) const { os << to_string(); }
+void TextTable::print(std::ostream& os) const {
+  os << to_string();
+  if (!os) throw std::runtime_error{"TextTable::print: stream write failed"};
+}
 
 void print_section(std::ostream& os, const std::string& title) {
   os << "\n=== " << title << " ===\n";
