@@ -1,0 +1,173 @@
+// Throughput benchmark for the deterministic execution engine.
+//
+// Measures UE-days/sec and records/sec at 1/2/4/N worker threads on one
+// fixed mid-size world (built once; each timed run restores to day 0 and
+// re-simulates), and writes BENCH_throughput.json so the perf trajectory
+// of the engine is tracked across PRs. The record stream is byte-identical
+// at every thread count — verified here via a stream checksum, so a perf
+// run that breaks determinism fails loudly instead of reporting a number.
+//
+//   $ bench_throughput [--smoke] [--out PATH]
+//
+// --smoke shrinks the world to seconds of runtime (CI keeps the binary from
+// rotting); the JSON schema is identical. Scale knobs: TL_BENCH_UES,
+// TL_BENCH_DAYS, TL_BENCH_SCALE, TL_BENCH_SEED (see bench_world.hpp).
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_world.hpp"
+#include "core/simulator.hpp"
+#include "exec/thread_pool.hpp"
+#include "telemetry/record_log.hpp"
+#include "telemetry/sinks.hpp"
+#include "util/crc32c.hpp"
+
+namespace {
+
+/// Cheap consumer standing in for a real aggregation pipeline: CRC32C over
+/// the wire encoding of every record, so the stream's bytes are both
+/// consumed (nothing optimizes away) and fingerprinted (determinism check).
+class ChecksumSink final : public tl::telemetry::RecordSink {
+ public:
+  void consume(const tl::telemetry::HandoverRecord& record) override {
+    buffer_.clear();
+    tl::telemetry::RecordLog::encode_record(record, buffer_);
+    crc_.update(buffer_.data(), buffer_.size());
+    ++records_;
+  }
+  std::uint32_t checksum() const noexcept { return crc_.value(); }
+  std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  tl::util::Crc32c crc_;
+  std::uint64_t records_ = 0;
+  std::vector<std::uint8_t> buffer_;
+};
+
+struct Measurement {
+  unsigned threads = 1;
+  double wall_ms = 0.0;
+  double ue_days_per_sec = 0.0;
+  double records_per_sec = 0.0;
+  std::uint64_t records = 0;
+  std::uint32_t checksum = 0;
+};
+
+Measurement timed_run(tl::core::Simulator& sim, unsigned threads, int days,
+                      std::uint64_t seed, std::uint64_t population) {
+  ChecksumSink sink;
+  tl::core::DayCheckpoint day0;
+  day0.seed = seed;
+  sim.set_threads(threads);
+  sim.restore(day0);
+  sim.add_sink(&sink);
+  const auto start = std::chrono::steady_clock::now();
+  sim.run();
+  const auto stop = std::chrono::steady_clock::now();
+  sim.remove_sink(&sink);
+
+  Measurement m;
+  m.threads = threads;
+  m.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  const double wall_s = m.wall_ms / 1000.0;
+  const double ue_days = static_cast<double>(population) * days;
+  m.ue_days_per_sec = wall_s > 0 ? ue_days / wall_s : 0.0;
+  m.records = sink.records();
+  m.records_per_sec = wall_s > 0 ? static_cast<double>(m.records) / wall_s : 0.0;
+  m.checksum = sink.checksum();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tl;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_throughput [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  // Fixed mid-size config: big enough that the per-UE-day work dominates
+  // the merge, small enough that a 4-point thread sweep stays in minutes.
+  core::StudyConfig cfg = bench::bench_config();
+  cfg.days = static_cast<int>(bench::env_double("TL_BENCH_DAYS", smoke ? 1 : 2));
+  cfg.finalize();
+  cfg.population.count = static_cast<std::uint32_t>(
+      bench::env_double("TL_BENCH_UES", smoke ? 2'000 : 20'000));
+
+  const unsigned hw = exec::ThreadPool::resolve_threads(0);
+  std::vector<unsigned> sweep{1, 2, 4};
+  if (hw > 4) sweep.push_back(hw);
+  if (smoke) sweep = {1, 2};
+
+  std::cerr << "[bench_throughput] world: scale=" << cfg.scale
+            << " ues=" << cfg.population.count << " days=" << cfg.days
+            << " seed=" << cfg.seed << " hw_threads=" << hw << "\n";
+  core::Simulator sim{cfg};
+
+  std::vector<Measurement> results;
+  for (const unsigned threads : sweep) {
+    const Measurement m =
+        timed_run(sim, threads, cfg.days, cfg.seed, cfg.population.count);
+    std::cerr << "[bench_throughput] threads=" << m.threads << " wall_ms=" << m.wall_ms
+              << " ue_days/s=" << m.ue_days_per_sec
+              << " records/s=" << m.records_per_sec << " records=" << m.records
+              << " crc=" << std::hex << m.checksum << std::dec << "\n";
+    results.push_back(m);
+  }
+
+  // Determinism gate: every thread count must produce the same stream.
+  for (const auto& m : results) {
+    if (m.records != results.front().records ||
+        m.checksum != results.front().checksum) {
+      std::cerr << "[bench_throughput] FAIL: stream at " << m.threads
+                << " threads differs from serial (records " << m.records << " vs "
+                << results.front().records << ")\n";
+      return 1;
+    }
+  }
+
+  std::ofstream json{out_path, std::ios::trunc};
+  json << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& m = results[i];
+    json << "  {\"threads\": " << m.threads << ", \"ue_days_per_sec\": "
+         << static_cast<std::uint64_t>(m.ue_days_per_sec)
+         << ", \"records_per_sec\": " << static_cast<std::uint64_t>(m.records_per_sec)
+         << ", \"wall_ms\": " << static_cast<std::uint64_t>(m.wall_ms)
+         << ", \"seed\": " << cfg.seed << "}" << (i + 1 < results.size() ? "," : "")
+         << "\n";
+  }
+  json << "]\n";
+  if (!json) {
+    std::cerr << "[bench_throughput] FAIL: could not write " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "[bench_throughput] wrote " << out_path << "\n";
+
+  // Report (don't enforce) the speedup: CI runners and laptops differ too
+  // much for a hard local gate; the JSON is the tracked artifact.
+  for (const auto& m : results) {
+    if (m.threads != 1 && results.front().wall_ms > 0) {
+      std::cerr << "[bench_throughput] speedup x" << m.threads << " threads: "
+                << results.front().wall_ms / m.wall_ms << "\n";
+    }
+  }
+  return 0;
+}

@@ -3,10 +3,15 @@
 // health, ping-pong waste, QoS damage, and the worst failure causes of the
 // day. Exercises the extension APIs end to end.
 //
-//   $ network_ops_report [scale] [days]
+//   $ network_ops_report [scale] [days] [--threads N]
+//
+// --threads N simulates each day on N workers (0 = all hardware threads);
+// every reported number is identical at any thread count.
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "core/control_plane.hpp"
 #include "core/qos_model.hpp"
@@ -19,8 +24,16 @@ int main(int argc, char** argv) {
   using namespace tl;
 
   core::StudyConfig config = core::StudyConfig::bench_scale();
-  config.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
-  config.days = argc > 2 ? std::atoi(argv[2]) : 1;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      config.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  config.scale = positional.size() > 0 ? std::atof(positional[0]) : 0.01;
+  config.days = positional.size() > 1 ? std::atoi(positional[1]) : 1;
   config.finalize();
   config.population.count = 20'000;
 

@@ -1,13 +1,16 @@
 // Quickstart: build a scaled country, run a few study days, and print the
 // headline statistics a TelcoLens user starts from.
 //
-//   $ quickstart [scale] [days] [seed]
+//   $ quickstart [scale] [days] [seed] [--threads N]
 //
 // Demonstrates the core public API: StudyConfig -> Simulator -> sinks ->
-// aggregate readouts.
+// aggregate readouts. --threads N runs each day on N workers (0 = all
+// hardware threads); the printed numbers are identical at any count.
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
 #include "core/simulator.hpp"
@@ -18,9 +21,18 @@ int main(int argc, char** argv) {
   using namespace tl;
 
   core::StudyConfig config = core::StudyConfig::bench_scale();
-  if (argc > 1) config.scale = std::atof(argv[1]);
-  if (argc > 2) config.days = std::atoi(argv[2]);
-  if (argc > 3) config.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      config.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 0) config.scale = std::atof(positional[0]);
+  if (positional.size() > 1) config.days = std::atoi(positional[1]);
+  if (positional.size() > 2)
+    config.seed = static_cast<std::uint64_t>(std::atoll(positional[2]));
   config.finalize();
   config.population.count = std::min<std::uint32_t>(config.population.count, 40'000);
 

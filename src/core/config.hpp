@@ -24,6 +24,13 @@ struct StudyConfig {
   int days = 7;
   std::uint64_t seed = 42;
 
+  /// Worker threads for the parallel execution engine (src/exec): each study
+  /// day is sharded by UE across this many workers and merged back in
+  /// canonical UE order, so the emitted record stream — including durable
+  /// log bytes — is byte-identical at every thread count. 1 = serial
+  /// (in-place, no sharding), 0 = all hardware threads.
+  unsigned threads = 1;
+
   geo::CensusConfig census;
   topology::DeploymentConfig deployment;
   devices::CatalogConfig catalog;

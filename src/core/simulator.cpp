@@ -8,6 +8,8 @@
 #include <string>
 
 #include "core/checkpoint_codec.hpp"
+#include "exec/buffers.hpp"
+#include "exec/sharded_runner.hpp"
 #include "io/file.hpp"
 #include "mobility/metrics.hpp"
 #include "ran/propagation.hpp"
@@ -47,6 +49,8 @@ Simulator::Simulator(StudyConfig config)
 
   calibrate_coverage();
 }
+
+Simulator::~Simulator() = default;
 
 void Simulator::calibrate_coverage() {
   // Sample modern UEs evenly and replay one weekday of movement, crediting
@@ -115,6 +119,11 @@ void Simulator::add_metrics_sink(telemetry::MetricsSink* sink) {
 void Simulator::remove_sink(telemetry::RecordSink* sink) {
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
   if (durable_ == sink) durable_ = nullptr;
+}
+
+void Simulator::remove_metrics_sink(telemetry::MetricsSink* sink) {
+  metrics_sinks_.erase(std::remove(metrics_sinks_.begin(), metrics_sinks_.end(), sink),
+                       metrics_sinks_.end());
 }
 
 void Simulator::set_fault_schedule(const faults::FaultSchedule* schedule) {
@@ -295,15 +304,11 @@ bool Simulator::load_checkpoint(const std::string& path) {
 
 void Simulator::run_day(int day) {
   if (day < 0) throw std::invalid_argument{"Simulator::run_day: negative day"};
-  for (const auto& ue : population_->ues()) {
-    // Only 4G/5G-capable devices produce records at the EPC observation
-    // point (§8): legacy-only UEs handover inside 2G/3G, which the MME
-    // never sees — but their mobility metrics still exist network-side.
-    if (topology::supports(ue.rat_support, topology::Rat::kG4)) {
-      simulate_ue_day(ue, plans_[ue.id], day);
-    } else if (config_.collect_ue_metrics && !metrics_sinks_.empty()) {
-      simulate_legacy_ue_day(ue, plans_[ue.id], day);
-    }
+  const unsigned threads = exec::ThreadPool::resolve_threads(config_.threads);
+  if (threads > 1 && population_->size() > 1) {
+    run_day_sharded(day, threads);
+  } else {
+    run_day_serial(day);
   }
   // Sequential progress advances the checkpoint cursor; replaying an
   // already-completed day leaves it alone. The cursor moves BEFORE the
@@ -312,6 +317,75 @@ void Simulator::run_day(int day) {
   // day's records.
   if (day == next_day_) next_day_ = day + 1;
   for (auto* sink : sinks_) sink->on_day_end(day);
+}
+
+void Simulator::run_day_serial(int day) {
+  EmitFrame out;
+  out.core = &core_;
+  out.sinks = {sinks_.data(), sinks_.size()};
+  out.metrics_sinks = {metrics_sinks_.data(), metrics_sinks_.size()};
+  for (const auto& ue : population_->ues()) {
+    // Only 4G/5G-capable devices produce records at the EPC observation
+    // point (§8): legacy-only UEs handover inside 2G/3G, which the MME
+    // never sees — but their mobility metrics still exist network-side.
+    if (topology::supports(ue.rat_support, topology::Rat::kG4)) {
+      simulate_ue_day(ue, plans_[ue.id], day, out);
+    } else if (config_.collect_ue_metrics && !metrics_sinks_.empty()) {
+      simulate_legacy_ue_day(ue, plans_[ue.id], day, out);
+    }
+  }
+  records_emitted_ += out.records;
+}
+
+void Simulator::run_day_sharded(int day, unsigned threads) {
+  if (runner_ == nullptr || runner_->thread_count() != threads) {
+    exec::ShardedDayRunner::Options opt;
+    opt.threads = threads;
+    runner_ = std::make_unique<exec::ShardedDayRunner>(opt);
+  }
+  // One private world-view per shard: procedures book into the shard's own
+  // CoreNetwork and records/metrics land in shard buffers, so workers share
+  // nothing mutable. The merge callback then replays each shard into the
+  // real sinks in ascending shard order — contiguous UE ranges, so the
+  // stream every sink (and the durable log) sees is the serial stream.
+  struct Shard {
+    corenet::CoreNetwork core;
+    exec::RecordBuffer records;
+    exec::MetricsBuffer metrics;
+    std::uint64_t emitted = 0;
+  };
+  const auto& ues = population_->ues();
+  std::vector<Shard> shards(runner_->shard_count(ues.size()));
+  const bool want_metrics = config_.collect_ue_metrics && !metrics_sinks_.empty();
+  runner_->run(
+      ues.size(),
+      [&](std::size_t shard, std::size_t first, std::size_t last) {
+        Shard& s = shards[shard];
+        telemetry::RecordSink* record_sink = &s.records;
+        telemetry::MetricsSink* metrics_sink = &s.metrics;
+        EmitFrame out;
+        out.core = &s.core;
+        out.sinks = {&record_sink, 1};
+        if (want_metrics) out.metrics_sinks = {&metrics_sink, 1};
+        for (std::size_t i = first; i < last; ++i) {
+          const auto& ue = ues[i];
+          if (topology::supports(ue.rat_support, topology::Rat::kG4)) {
+            simulate_ue_day(ue, plans_[ue.id], day, out);
+          } else if (want_metrics) {
+            simulate_legacy_ue_day(ue, plans_[ue.id], day, out);
+          }
+        }
+        s.emitted = out.records;
+      },
+      [&](std::size_t shard) {
+        Shard& s = shards[shard];
+        s.records.drain_to({sinks_.data(), sinks_.size()});
+        s.metrics.drain_to({metrics_sinks_.data(), metrics_sinks_.size()});
+        // Counters shard-reduce in merge order: exact integer sums, no
+        // atomics, no dependence on which worker finished first.
+        core_.accumulate(s.core);
+        records_emitted_ += s.emitted;
+      });
 }
 
 topology::SectorId Simulator::locate_sector(const util::GeoPoint& position,
@@ -343,7 +417,8 @@ topology::SectorId Simulator::locate_sector(const util::GeoPoint& position,
 }
 
 void Simulator::simulate_legacy_ue_day(const devices::Ue& ue,
-                                       const mobility::UePlan& plan, int day) {
+                                       const mobility::UePlan& plan, int day,
+                                       EmitFrame& out) const {
   util::Rng rng = util::Rng::derive(config_.seed, 0x1e64u, ue.id,
                                     static_cast<std::uint64_t>(day));
   const mobility::DailyTrace trace = traces_->generate(ue, plan, day);
@@ -386,11 +461,11 @@ void Simulator::simulate_legacy_ue_day(const devices::Ue& ue,
       metrics.empty() ? (serving != kInvalidSector ? 1u : 0u) : metrics.distinct_sectors();
   m.radius_of_gyration_km = static_cast<float>(metrics.radius_of_gyration_km());
   m.device_type = ue.type;
-  for (auto* sink : metrics_sinks_) sink->consume(m);
+  for (auto* sink : out.metrics_sinks) sink->consume(m);
 }
 
 void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& plan,
-                                int day) {
+                                int day, EmitFrame& out) const {
   util::Rng rng = util::Rng::derive(config_.seed, 0x51e0u, ue.id,
                                     static_cast<std::uint64_t>(day));
   const mobility::DailyTrace trace = traces_->generate(ue, plan, day);
@@ -468,7 +543,7 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
     attempt.endc = source.rat == topology::Rat::kG5Nr ||
                    target_sector.rat == topology::Rat::kG5Nr;
 
-    corenet::HoOutcome outcome = procedure_.execute(attempt, core_, rng);
+    corenet::HoOutcome outcome = procedure_.execute(attempt, *out.core, rng);
 
     telemetry::HandoverRecord record;
     record.timestamp = event.time;
@@ -488,8 +563,8 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
     record.region = source.region;
     record.vendor = source.vendor;
     record.srvcc = decision.srvcc;
-    for (auto* sink : sinks_) sink->consume(record);
-    ++records_emitted_;
+    for (auto* sink : out.sinks) sink->consume(record);
+    ++out.records;
 
     ++handovers;
     if (!outcome.success) ++failures;
@@ -513,14 +588,14 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
         if (t >= day_end) break;  // chain truncated at the day boundary
         ho_time = t;
         attempt.time = t;
-        outcome = procedure_.execute(attempt, core_, rng);
+        outcome = procedure_.execute(attempt, *out.core, rng);
         record.timestamp = t;
         record.success = outcome.success;
         record.duration_ms = static_cast<float>(outcome.duration_ms);
         record.cause = outcome.cause;
         record.attempt = static_cast<std::uint8_t>(retry);
-        for (auto* sink : sinks_) sink->consume(record);
-        ++records_emitted_;
+        for (auto* sink : out.sinks) sink->consume(record);
+        ++out.records;
         ++handovers;
         if (!outcome.success) ++failures;
       }
@@ -549,7 +624,7 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
     }
   }
 
-  if (config_.collect_ue_metrics && !metrics_sinks_.empty()) {
+  if (config_.collect_ue_metrics && !out.metrics_sinks.empty()) {
     if (serving != kInvalidSector) {
       const auto& last = deployment_->sector(serving);
       metrics.add_visit(serving, deployment_->site(last.site).location,
@@ -566,7 +641,7 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
                                          : metrics.distinct_sectors();
     m.radius_of_gyration_km = static_cast<float>(metrics.radius_of_gyration_km());
     m.device_type = ue.type;
-    for (auto* sink : metrics_sinks_) sink->consume(m);
+    for (auto* sink : out.metrics_sinks) sink->consume(m);
   }
 }
 

@@ -9,6 +9,7 @@
 // EPC handover state machine. Everything is deterministic in the seed.
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,10 @@
 #include "topology/deployment.hpp"
 #include "topology/energy_saving.hpp"
 
+namespace tl::exec {
+class ShardedDayRunner;
+}
+
 namespace tl::core {
 
 /// Everything needed to resume a run after the last completed day: the day
@@ -48,6 +53,7 @@ struct DayCheckpoint {
 class Simulator {
  public:
   explicit Simulator(StudyConfig config);
+  ~Simulator();
 
   /// Sinks are borrowed; they must outlive the simulator's run calls.
   void add_sink(telemetry::RecordSink* sink);
@@ -57,6 +63,8 @@ class Simulator {
   /// The world build dominates construction cost, so a long-lived simulator
   /// swaps sinks between runs instead of being rebuilt.
   void remove_sink(telemetry::RecordSink* sink);
+  /// Detaches a previously added metrics sink (no-op when absent).
+  void remove_metrics_sink(telemetry::MetricsSink* sink);
 
   /// Registers `sink` as a record sink AND couples it to the checkpoint
   /// protocol: every day commit marker written by the log embeds this
@@ -81,8 +89,18 @@ class Simulator {
   void run();
   /// Runs a single day (idempotent per day; callers sequence days). Running
   /// the day at the checkpoint cursor advances the cursor; out-of-order
-  /// replays leave it alone.
+  /// replays leave it alone. With `config().threads` != 1 the day executes
+  /// on the parallel engine (src/exec): UE shards simulate concurrently and
+  /// merge back in canonical UE order, so sinks — including an attached
+  /// durable log — observe a stream byte-identical to the serial run.
   void run_day(int day);
+
+  /// Re-targets subsequent run()/run_day() calls at `threads` workers
+  /// (0 = all hardware threads, 1 = serial). Simulation output is invariant
+  /// under this knob; only wall-clock changes. The worker pool is rebuilt
+  /// lazily on the next parallel day, so a long-lived simulator can sweep
+  /// thread counts (the throughput bench does) without a world rebuild.
+  void set_threads(unsigned threads) noexcept { config_.threads = threads; }
 
   /// Snapshot after the last completed day; feed to a fresh Simulator's
   /// restore() to continue the run with an identical record stream.
@@ -113,12 +131,28 @@ class Simulator {
   std::uint64_t records_emitted() const noexcept { return records_emitted_; }
 
  private:
-  void simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& plan, int day);
+  /// Where one UE-day emits: the core network booking its procedures, the
+  /// record/metrics sinks receiving its stream, and a record counter. The
+  /// serial path aims it at the simulator's own state; the parallel path at
+  /// per-shard buffers that merge back in UE order. Keeping every mutation
+  /// behind this frame is what makes simulate_ue_day const — safe to call
+  /// concurrently for disjoint UE-days by construction.
+  struct EmitFrame {
+    corenet::CoreNetwork* core = nullptr;
+    std::span<telemetry::RecordSink* const> sinks;
+    std::span<telemetry::MetricsSink* const> metrics_sinks;
+    std::uint64_t records = 0;
+  };
+
+  void run_day_serial(int day);
+  void run_day_sharded(int day, unsigned threads);
+  void simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& plan, int day,
+                       EmitFrame& out) const;
   /// Legacy-only UEs never surface at the EPC observation point, but their
   /// mobility (visited 2G/3G sectors, gyration) still exists network-side
   /// (SGSN view) and feeds the §3.3 metrics. Emits metrics, no records.
   void simulate_legacy_ue_day(const devices::Ue& ue, const mobility::UePlan& plan,
-                              int day);
+                              int day, EmitFrame& out) const;
   /// Probe pass: samples traces, measures where HO events actually land,
   /// and re-calibrates the coverage fallback probabilities on that volume.
   void calibrate_coverage();
@@ -154,6 +188,9 @@ class Simulator {
   std::vector<telemetry::RecordSink*> sinks_;
   std::vector<telemetry::MetricsSink*> metrics_sinks_;
   telemetry::DurableRecordSink* durable_ = nullptr;
+  /// Parallel engine, created on the first sharded day and kept across days
+  /// (and across set_threads() calls that don't change the count).
+  std::unique_ptr<exec::ShardedDayRunner> runner_;
   std::uint64_t records_emitted_ = 0;
   int next_day_ = 0;
 };

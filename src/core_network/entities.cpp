@@ -29,6 +29,17 @@ void CoreNetwork::record_handover(geo::Region region, topology::ObservedRat targ
   if (srvcc) mscs_[i].srvcc.record(success);
 }
 
+void CoreNetwork::accumulate(const CoreNetwork& other) noexcept {
+  for (const geo::Region r : geo::kAllRegions) {
+    const auto i = static_cast<std::size_t>(r);
+    mmes_[i].handovers += other.mmes_[i].handovers;
+    mmes_[i].path_switches += other.mmes_[i].path_switches;
+    sgsns_[i].relocations += other.sgsns_[i].relocations;
+    mscs_[i].srvcc += other.mscs_[i].srvcc;
+    sgws_[i].bearer_modifications += other.sgws_[i].bearer_modifications;
+  }
+}
+
 std::uint64_t CoreNetwork::total_handovers() const noexcept {
   std::uint64_t total = 0;
   for (const auto& m : mmes_) total += m.handovers.procedures;

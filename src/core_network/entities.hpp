@@ -27,6 +27,13 @@ struct EntityCounters {
     ++procedures;
     (success ? successes : failures)++;
   }
+  /// Folds another counter set into this one (shard-reduce).
+  EntityCounters& operator+=(const EntityCounters& other) noexcept {
+    procedures += other.procedures;
+    successes += other.successes;
+    failures += other.failures;
+    return *this;
+  }
   double failure_rate() const noexcept {
     return procedures ? static_cast<double>(failures) / static_cast<double>(procedures)
                       : 0.0;
@@ -81,6 +88,13 @@ class CoreNetwork {
   /// Books one HO procedure into the entities it traverses.
   void record_handover(geo::Region region, topology::ObservedRat target, bool success,
                        bool srvcc) noexcept;
+
+  /// Folds `other`'s counters into this core (per region, per entity). The
+  /// parallel engine gives each population shard a private CoreNetwork and
+  /// reduces them in shard order — counter addition is exact integer math,
+  /// so the reduced totals match the serial run bit for bit with no
+  /// dependence on worker scheduling or atomic-update interleaving.
+  void accumulate(const CoreNetwork& other) noexcept;
 
   std::uint64_t total_handovers() const noexcept;
 

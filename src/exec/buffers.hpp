@@ -1,0 +1,66 @@
+#pragma once
+
+// Per-shard telemetry buffers for the deterministic execution engine.
+//
+// A worker thread never touches the study's real sinks: it writes into a
+// private RecordBuffer / MetricsBuffer, and the merge step replays those
+// buffers into the real sinks on the caller's thread, shard by shard in
+// canonical UE order. Consumers therefore observe exactly the serial
+// stream — same records, same order, same bytes — regardless of how many
+// workers produced it.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "telemetry/records.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace tl::exec {
+
+class RecordBuffer final : public telemetry::RecordSink {
+ public:
+  void consume(const telemetry::HandoverRecord& record) override {
+    records_.push_back(record);
+  }
+
+  /// Replays every buffered record, in arrival order, through `sinks`, then
+  /// releases the buffer's memory (a drained shard holds nothing).
+  void drain_to(std::span<telemetry::RecordSink* const> sinks) {
+    for (const auto& record : records_) {
+      for (auto* sink : sinks) sink->consume(record);
+    }
+    records_.clear();
+    records_.shrink_to_fit();
+  }
+
+  std::size_t size() const noexcept { return records_.size(); }
+  const std::vector<telemetry::HandoverRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<telemetry::HandoverRecord> records_;
+};
+
+class MetricsBuffer final : public telemetry::MetricsSink {
+ public:
+  void consume(const telemetry::UeDayMetrics& metrics) override {
+    rows_.push_back(metrics);
+  }
+
+  void drain_to(std::span<telemetry::MetricsSink* const> sinks) {
+    for (const auto& row : rows_) {
+      for (auto* sink : sinks) sink->consume(row);
+    }
+    rows_.clear();
+    rows_.shrink_to_fit();
+  }
+
+  std::size_t size() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<telemetry::UeDayMetrics> rows_;
+};
+
+}  // namespace tl::exec

@@ -1,0 +1,94 @@
+#include "exec/sharded_runner.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+namespace tl::exec {
+
+ShardedDayRunner::ShardedDayRunner() : ShardedDayRunner(Options{}) {}
+
+ShardedDayRunner::ShardedDayRunner(Options options)
+    : options_(options), pool_(options.threads) {
+  if (options_.shards_per_thread == 0) options_.shards_per_thread = 1;
+}
+
+std::size_t ShardedDayRunner::shard_count(std::size_t item_count) const noexcept {
+  const std::size_t cap = static_cast<std::size_t>(pool_.size()) *
+                          static_cast<std::size_t>(options_.shards_per_thread);
+  return std::max<std::size_t>(1, std::min(item_count, cap));
+}
+
+void ShardedDayRunner::run(std::size_t item_count, const SimulateFn& simulate,
+                           const MergeFn& merge) {
+  if (item_count == 0) return;
+  const std::size_t shards = shard_count(item_count);
+
+  struct ShardState {
+    bool done = false;
+    std::exception_ptr error;
+  };
+  std::vector<ShardState> states(shards);
+  std::mutex mutex;
+  std::condition_variable shard_done;
+
+  // Every task references the locals above, so run() may not unwind until
+  // each submitted task has finished — including on the error paths below.
+  std::size_t submitted = 0;
+  const auto wait_for_submitted = [&] {
+    std::unique_lock<std::mutex> lock{mutex};
+    for (std::size_t shard = 0; shard < submitted; ++shard) {
+      shard_done.wait(lock, [&] { return states[shard].done; });
+    }
+  };
+
+  try {
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const std::size_t first = shard * item_count / shards;
+      const std::size_t last = (shard + 1) * item_count / shards;
+      pool_.submit([&states, &mutex, &shard_done, &simulate, shard, first, last] {
+        std::exception_ptr error;
+        try {
+          simulate(shard, first, last);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lock{mutex};
+          states[shard].error = error;
+          states[shard].done = true;
+        }
+        shard_done.notify_all();
+      });
+      ++submitted;
+    }
+  } catch (...) {
+    wait_for_submitted();
+    throw;
+  }
+
+  // Pipelined ordered merge: shard k merges the moment shards 0..k have all
+  // finished simulating, while later shards are still running. On error,
+  // stop merging but keep waiting — the workers still hold our stack.
+  std::exception_ptr first_error;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    {
+      std::unique_lock<std::mutex> lock{mutex};
+      shard_done.wait(lock, [&] { return states[shard].done; });
+      if (states[shard].error != nullptr && first_error == nullptr) {
+        first_error = states[shard].error;
+      }
+    }
+    if (first_error != nullptr) continue;
+    try {
+      merge(shard);
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace tl::exec

@@ -1,0 +1,66 @@
+#pragma once
+
+// Deterministic sharded fan-out / ordered merge.
+//
+// The engine's determinism contract: partition N independent items (UE-days
+// of one study day) into contiguous shards, simulate shards concurrently on
+// a ThreadPool in whatever order the scheduler likes, but MERGE the shard
+// results on the caller's thread in ascending shard order — each merge
+// starting as soon as its shard (and every earlier one) has finished. Since
+// shards are contiguous index ranges, ascending-shard merge reproduces the
+// serial item order exactly; everything order-sensitive (record sinks, the
+// durable log, counter reduction) lives in the merge callback and therefore
+// never observes scheduling.
+//
+// Exceptions: a simulate callback that throws poisons its shard; run()
+// waits for every in-flight shard, performs no further merges, and rethrows
+// the poisoned exception that comes first in merge order — deterministic
+// for deterministic failures. Merge callbacks run on the caller's thread,
+// so their exceptions propagate directly (later shards are abandoned,
+// their simulate results discarded with the shard state).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "exec/thread_pool.hpp"
+
+namespace tl::exec {
+
+class ShardedDayRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 = all hardware threads.
+    unsigned threads = 0;
+    /// Shards per worker (> 1 lets finished workers steal ahead of a slow
+    /// shard instead of idling at the merge barrier).
+    unsigned shards_per_thread = 4;
+  };
+
+  ShardedDayRunner();  // default Options
+  explicit ShardedDayRunner(Options options);
+
+  unsigned thread_count() const noexcept { return pool_.size(); }
+
+  /// Number of shards run() will use for `item_count` items: at most
+  /// threads * shards_per_thread, never more than one shard per item.
+  std::size_t shard_count(std::size_t item_count) const noexcept;
+
+  /// Shard callback: process items [first, last) of shard `shard`. Runs on
+  /// a worker thread; must only touch per-shard state.
+  using SimulateFn =
+      std::function<void(std::size_t shard, std::size_t first, std::size_t last)>;
+  /// Merge callback: fold shard `shard` into global state. Runs on the
+  /// calling thread, strictly in ascending shard order.
+  using MergeFn = std::function<void(std::size_t shard)>;
+
+  /// Fans `simulate` out over the pool and merges in order; returns after
+  /// every shard is simulated and merged. No-op for item_count == 0.
+  void run(std::size_t item_count, const SimulateFn& simulate, const MergeFn& merge);
+
+ private:
+  Options options_;
+  ThreadPool pool_;
+};
+
+}  // namespace tl::exec

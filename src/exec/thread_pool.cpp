@@ -1,0 +1,64 @@
+#include "exec/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tl::exec {
+
+unsigned ThreadPool::resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged{std::move(task)};
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (shutting_down_) {
+      throw std::runtime_error{"ThreadPool::submit: pool is shut down"};
+    }
+    queue_.push_back(std::move(packaged));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Graceful shutdown: keep draining until the queue is truly empty.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // a throwing task parks its exception in the paired future
+  }
+}
+
+}  // namespace tl::exec

@@ -1,0 +1,60 @@
+#pragma once
+
+// Fixed-size worker pool for the deterministic execution engine.
+//
+// Design constraints, in order: (1) exceptions thrown by a task must reach
+// the caller that submitted it, with type and message intact; (2) shutdown
+// is graceful — every task already queued runs to completion before the
+// workers join, so a pool going out of scope never strands work; (3) no
+// task-ordering guarantees — determinism is the ShardedDayRunner's job
+// (ordered merge), never the scheduler's. Keeping the pool order-oblivious
+// is what lets it load-balance freely without touching output bytes.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tl::exec {
+
+class ThreadPool {
+ public:
+  /// Resolves a requested thread count: 0 means "all hardware threads"
+  /// (std::thread::hardware_concurrency, itself clamped to >= 1).
+  static unsigned resolve_threads(unsigned requested) noexcept;
+
+  /// Spawns `resolve_threads(threads)` workers immediately.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Graceful: drains the queue, then joins. Equivalent to shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues `task` and returns the future that carries its completion or
+  /// its exception (future.get() rethrows). Throws std::runtime_error after
+  /// shutdown() has begun.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Stops accepting work, runs every already-queued task, joins all
+  /// workers. Idempotent; called by the destructor.
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace tl::exec

@@ -46,19 +46,4 @@ double Rng::exponential(double lambda) noexcept {
   return -std::log(u) / lambda;
 }
 
-Rng Rng::derive(std::uint64_t seed, std::uint64_t salt_a, std::uint64_t salt_b,
-                std::uint64_t salt_c) noexcept {
-  // Mix the salts through SplitMix64 one at a time so that nearby ids
-  // produce decorrelated streams.
-  std::uint64_t s = seed;
-  std::uint64_t mixed = splitmix64(s);
-  s ^= salt_a + 0x9e3779b97f4a7c15ULL;
-  mixed ^= splitmix64(s);
-  s ^= salt_b + 0xd1b54a32d192ed03ULL;
-  mixed ^= splitmix64(s);
-  s ^= salt_c + 0x8cb92ba72f3d8dd7ULL;
-  mixed ^= splitmix64(s);
-  return Rng{mixed};
-}
-
 }  // namespace tl::util

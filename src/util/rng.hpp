@@ -21,6 +21,31 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Mixes (seed, salts) into the child-stream seed behind Rng::derive().
+///
+/// Thread-safety guarantee (the parallel execution engine depends on it):
+/// stream derivation is a pure function — it reads and writes no shared,
+/// global, or thread-local state, so any number of threads may derive
+/// per-(seed, ue, day) streams concurrently with no synchronization, and
+/// identical inputs yield identical streams on every platform (the math is
+/// exact unsigned 64-bit arithmetic; constexpr-evaluable as proof).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t salt_a,
+                                                  std::uint64_t salt_b = 0,
+                                                  std::uint64_t salt_c = 0) noexcept {
+  // Mix the salts through SplitMix64 one at a time so that nearby ids
+  // produce decorrelated streams.
+  std::uint64_t s = seed;
+  std::uint64_t mixed = splitmix64(s);
+  s ^= salt_a + 0x9e3779b97f4a7c15ULL;
+  mixed ^= splitmix64(s);
+  s ^= salt_b + 0xd1b54a32d192ed03ULL;
+  mixed ^= splitmix64(s);
+  s ^= salt_c + 0x8cb92ba72f3d8dd7ULL;
+  mixed ^= splitmix64(s);
+  return mixed;
+}
+
 /// Xoshiro256** PRNG. Fast, high-quality, 2^256-1 period.
 /// Satisfies UniformRandomBitGenerator.
 class Rng {
@@ -82,10 +107,17 @@ class Rng {
   /// Exponential with given rate lambda (> 0).
   double exponential(double lambda) noexcept;
 
-  /// Derives a child stream from this master seed and a sequence of salts.
-  /// Independent of this generator's current state.
-  static Rng derive(std::uint64_t seed, std::uint64_t salt_a, std::uint64_t salt_b = 0,
-                    std::uint64_t salt_c = 0) noexcept;
+  /// Derives a child stream from a master seed and a sequence of salts via
+  /// derive_seed(). Static and pure: independent of any generator's state,
+  /// safe to call concurrently from any thread (see derive_seed above).
+  /// Rng *instances* are not thread-safe — normal() caches a spare variate —
+  /// so each worker derives its own per-(seed, ue, day) instance instead of
+  /// sharing one.
+  [[nodiscard]] static Rng derive(std::uint64_t seed, std::uint64_t salt_a,
+                                  std::uint64_t salt_b = 0,
+                                  std::uint64_t salt_c = 0) noexcept {
+    return Rng{derive_seed(seed, salt_a, salt_b, salt_c)};
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

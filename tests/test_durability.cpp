@@ -1004,5 +1004,95 @@ TEST(ChaosHarness, KillRecoverSchedulesYieldByteIdenticalStreams) {
   RecordProperty("io_aborts", total_io_aborts);
 }
 
+TEST(ChaosHarness, ParallelRunsSurviveKillAndResumeByteIdentically) {
+  // The strongest durability claim the parallel engine makes: a sharded run
+  // killed mid-WAL and resumed (possibly at a different thread count) still
+  // converges to the exact bytes of an uninterrupted SERIAL run — commit
+  // markers, embedded checkpoints, and segment boundaries included. All log
+  // I/O happens on the merge (caller) thread, so the WAL never observes
+  // shard scheduling; this test is the end-to-end proof.
+  const StudyConfig cfg = chaos_config();
+  auto& real = io::StdioFileSystem::instance();
+  RecordLog::Options opt;
+  opt.max_segment_bytes = 24 * 1024;
+  opt.write_chunk_bytes = 1024;
+
+  Simulator sim{cfg};
+  DayCheckpoint day0;
+  day0.seed = cfg.seed;
+
+  // Serial, fault-free reference — the oracle.
+  TempDir ref_dir{"pchaos_ref"};
+  std::uint64_t horizon = 0;
+  {
+    io::FaultyFileSystem ffs{real, io::IoFaultPlan{}, 0};
+    RecordLog::Options ref_opt = opt;
+    ref_opt.directory = ref_dir.path;
+    RecordLog log{ffs, ref_opt};
+    DurableRecordSink sink{log};
+    log.open();
+    sim.set_threads(1);
+    sim.restore(day0);
+    sim.attach_durable_log(&sink);
+    sim.run();
+    sim.remove_sink(&sink);
+    horizon = ffs.ops();
+  }
+  const std::string ref_bytes = log_bytes(ref_dir.path);
+  ASSERT_GT(horizon, 20u);
+
+  // Fewer schedules than the serial harness: each parallel attempt costs the
+  // same UE-day work plus pool scheduling, and the serial harness already
+  // covers the fault-plan space densely. This pass targets the interaction.
+  const int schedules = std::max(8, chaos_schedule_count() / 8);
+  int total_crashes = 0;
+
+  for (int schedule = 0; schedule < schedules; ++schedule) {
+    TempDir dir{"pchaos_" + std::to_string(schedule)};
+    util::Rng meta =
+        util::Rng::derive(0x9A7A11E1ULL, static_cast<std::uint64_t>(schedule));
+    int attempts = 0;
+    bool complete = false;
+
+    while (!complete) {
+      ASSERT_LT(attempts, 64) << "schedule " << schedule << " livelocked";
+      ++attempts;
+      io::IoFaultPlan plan;
+      const bool clean = attempts > 1 && meta.chance(0.4);
+      if (!clean) {
+        const double transient_rate = (schedule % 3 == 0) ? 0.01 : 0.0;
+        plan = io::IoFaultPlan::chaos(meta(), horizon + 8, transient_rate);
+      }
+      io::FaultyFileSystem ffs{real, plan, meta()};
+      RecordLog::Options run_opt = opt;
+      run_opt.directory = dir.path;
+      RecordLog log{ffs, run_opt};
+      DurableRecordSink sink{log};
+      // Resume at a different worker count than the previous attempt died
+      // at — the WAL must not care.
+      sim.set_threads(2 + static_cast<unsigned>(meta.below(3)));  // 2..4
+      try {
+        log.open();
+        sim.restore(day0);
+        sim.attach_durable_log(&sink);
+        sim.run();
+        complete = true;
+      } catch (const io::SimulatedCrash&) {
+        ++total_crashes;
+      } catch (const io::IoError&) {
+        // transient fault aborted a commit; next attempt recovers
+      }
+      sim.remove_sink(&sink);
+    }
+
+    ASSERT_EQ(log_bytes(dir.path), ref_bytes) << "schedule " << schedule;
+  }
+  sim.set_threads(1);
+
+  EXPECT_GT(total_crashes, schedules / 2);
+  RecordProperty("schedules", schedules);
+  RecordProperty("crashes", total_crashes);
+}
+
 }  // namespace
 }  // namespace tl

@@ -1,0 +1,379 @@
+// Execution-engine tests: thread-pool semantics (graceful shutdown with
+// pending tasks, exception propagation), the sharded runner's ordered-merge
+// contract, and the engine's headline guarantee — the record stream (and
+// the durable log's on-disk bytes) at K threads is byte-identical to the
+// serial run, for K in {2, 3, 8} and for K = 0 (hardware concurrency).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "exec/buffers.hpp"
+#include "exec/sharded_runner.hpp"
+#include "exec/thread_pool.hpp"
+#include "io/file.hpp"
+#include "telemetry/aggregates.hpp"
+#include "telemetry/record_log.hpp"
+#include "telemetry/signaling_dataset.hpp"
+#include "util/rng.hpp"
+
+namespace tl {
+namespace {
+
+using core::DayCheckpoint;
+using core::Simulator;
+using core::StudyConfig;
+using exec::ShardedDayRunner;
+using exec::ThreadPool;
+using telemetry::HandoverRecord;
+using telemetry::RecordLog;
+using telemetry::UeDayMetrics;
+
+namespace fs = std::filesystem;
+
+// --- thread pool -------------------------------------------------------------
+
+TEST(ThreadPool, ResolvesThreadCounts) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+  ThreadPool pool{2};
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool{3};
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionsThroughFutures) {
+  ThreadPool pool{2};
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::domain_error{"boom"}; });
+  EXPECT_NO_THROW(ok.get());
+  try {
+    bad.get();
+    FAIL() << "expected std::domain_error";
+  } catch (const std::domain_error& error) {
+    EXPECT_STREQ(error.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 24; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds{2});
+        ran.fetch_add(1);
+      });
+    }
+    // Destruction races the queue: most tasks are still pending here, and
+    // the graceful contract is that every one of them still runs.
+  }
+  EXPECT_EQ(ran.load(), 24);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool{1};
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+// --- sharded runner ----------------------------------------------------------
+
+ShardedDayRunner::Options runner_options(unsigned threads, unsigned spt = 2) {
+  ShardedDayRunner::Options opt;
+  opt.threads = threads;
+  opt.shards_per_thread = spt;
+  return opt;
+}
+
+TEST(ShardedDayRunner, CoversEveryItemExactlyOnceAndMergesInOrder) {
+  ShardedDayRunner runner{runner_options(4)};
+  const std::size_t n = 1000;
+  const std::size_t shards = runner.shard_count(n);
+  ASSERT_GT(shards, 1u);
+  std::vector<std::vector<std::size_t>> per_shard(shards);
+  std::vector<std::size_t> merge_order;
+  std::vector<int> covered(n, 0);
+  runner.run(
+      n,
+      [&](std::size_t shard, std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) per_shard[shard].push_back(i);
+      },
+      [&](std::size_t shard) {
+        merge_order.push_back(shard);
+        for (const std::size_t i : per_shard[shard]) ++covered[i];
+      });
+  ASSERT_EQ(merge_order.size(), shards);
+  for (std::size_t s = 0; s < shards; ++s) EXPECT_EQ(merge_order[s], s);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(covered[i], 1) << "item " << i;
+  }
+}
+
+TEST(ShardedDayRunner, MergeOrderIgnoresSchedulingSkew) {
+  // Early shards sleep longest, so workers finish in roughly reverse shard
+  // order — the merge must still run strictly ascending.
+  ShardedDayRunner runner{runner_options(4, 1)};
+  const std::size_t n = 64;
+  const std::size_t shards = runner.shard_count(n);
+  std::vector<std::size_t> merge_order;
+  runner.run(
+      n,
+      [&](std::size_t shard, std::size_t, std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{2 * (shards - shard)});
+      },
+      [&](std::size_t shard) { merge_order.push_back(shard); });
+  ASSERT_EQ(merge_order.size(), shards);
+  for (std::size_t s = 0; s < shards; ++s) EXPECT_EQ(merge_order[s], s);
+}
+
+TEST(ShardedDayRunner, SimulateExceptionAbortsMergeAndPropagates) {
+  ShardedDayRunner runner{runner_options(2, 1)};
+  const std::size_t n = 16;
+  const std::size_t shards = runner.shard_count(n);
+  ASSERT_EQ(shards, 2u);
+  std::vector<std::size_t> merged;
+  EXPECT_THROW(
+      runner.run(
+          n,
+          [&](std::size_t shard, std::size_t, std::size_t) {
+            if (shard == 1) throw std::runtime_error{"shard 1 failed"};
+          },
+          [&](std::size_t shard) { merged.push_back(shard); }),
+      std::runtime_error);
+  // Shards past the failing one are never merged; earlier ones may be.
+  for (const std::size_t shard : merged) EXPECT_LT(shard, 1u);
+}
+
+TEST(ShardedDayRunner, MergeExceptionPropagatesWithoutDeadlock) {
+  ShardedDayRunner runner{runner_options(3)};
+  std::vector<std::size_t> merged;
+  EXPECT_THROW(runner.run(
+                   100, [](std::size_t, std::size_t, std::size_t) {},
+                   [&](std::size_t shard) {
+                     if (shard == 1) throw std::runtime_error{"merge 1 failed"};
+                     merged.push_back(shard);
+                   }),
+               std::runtime_error);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], 0u);
+}
+
+TEST(ShardedDayRunner, RunnerIsReusableAcrossRuns) {
+  ShardedDayRunner runner{runner_options(2)};
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<std::size_t> simulated{0};
+    std::size_t merged = 0;
+    runner.run(
+        50,
+        [&](std::size_t, std::size_t first, std::size_t last) {
+          simulated.fetch_add(last - first);
+        },
+        [&](std::size_t) { ++merged; });
+    EXPECT_EQ(simulated.load(), 50u);
+    EXPECT_EQ(merged, runner.shard_count(50));
+  }
+}
+
+// --- determinism under concurrency ------------------------------------------
+
+/// One test-scale world, reused across every thread count via restore():
+/// exactly the pattern the throughput bench and the chaos harness use.
+struct ExecWorld {
+  StudyConfig cfg;
+  std::unique_ptr<Simulator> sim;
+  DayCheckpoint day0;
+
+  static ExecWorld& instance() {
+    static ExecWorld world = [] {
+      ExecWorld w;
+      w.cfg = StudyConfig::test_scale();
+      w.cfg.days = 2;
+      w.cfg.population.count = 2'000;
+      w.sim = std::make_unique<Simulator>(w.cfg);
+      w.day0.seed = w.cfg.seed;
+      return w;
+    }();
+    return world;
+  }
+};
+
+struct RunCapture {
+  std::vector<std::uint8_t> record_bytes;  // RecordLog encoding of the stream
+  std::size_t records = 0;
+  std::vector<UeDayMetrics> metrics;
+  std::uint64_t records_emitted = 0;
+  std::uint64_t total_handovers = 0;
+};
+
+RunCapture run_with_threads(unsigned threads) {
+  ExecWorld& w = ExecWorld::instance();
+  telemetry::SignalingDataset dataset;
+  telemetry::UeDayStore ue_days;
+  w.sim->set_threads(threads);
+  w.sim->restore(w.day0);
+  w.sim->add_sink(&dataset);
+  w.sim->add_metrics_sink(&ue_days);
+  w.sim->run();
+  w.sim->remove_sink(&dataset);
+  w.sim->remove_metrics_sink(&ue_days);
+
+  RunCapture capture;
+  capture.records = dataset.size();
+  for (const auto& record : dataset.records()) {
+    RecordLog::encode_record(record, capture.record_bytes);
+  }
+  capture.metrics.assign(ue_days.rows().begin(), ue_days.rows().end());
+  capture.records_emitted = w.sim->records_emitted();
+  capture.total_handovers = w.sim->core_network().total_handovers();
+  return capture;
+}
+
+void expect_metrics_eq(const UeDayMetrics& a, const UeDayMetrics& b, std::size_t i) {
+  ASSERT_EQ(a.ue, b.ue) << "metrics row " << i;
+  ASSERT_EQ(a.day, b.day) << "metrics row " << i;
+  ASSERT_EQ(a.handovers, b.handovers) << "metrics row " << i;
+  ASSERT_EQ(a.failures, b.failures) << "metrics row " << i;
+  ASSERT_EQ(a.distinct_sectors, b.distinct_sectors) << "metrics row " << i;
+  ASSERT_EQ(a.radius_of_gyration_km, b.radius_of_gyration_km) << "metrics row " << i;
+  ASSERT_EQ(a.device_type, b.device_type) << "metrics row " << i;
+}
+
+TEST(Determinism, RecordStreamIsByteIdenticalAcrossThreadCounts) {
+  const RunCapture serial = run_with_threads(1);
+  ASSERT_GT(serial.records, 100u) << "world too small to prove anything";
+  ASSERT_FALSE(serial.metrics.empty());
+  EXPECT_EQ(serial.records, serial.records_emitted);
+
+  for (const unsigned threads : {2u, 3u, 8u, 0u}) {
+    const RunCapture parallel = run_with_threads(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(parallel.records, serial.records);
+    // Byte-identity of the full stream, not just per-field equality.
+    ASSERT_EQ(parallel.record_bytes, serial.record_bytes);
+    ASSERT_EQ(parallel.metrics.size(), serial.metrics.size());
+    for (std::size_t i = 0; i < serial.metrics.size(); ++i) {
+      expect_metrics_eq(parallel.metrics[i], serial.metrics[i], i);
+    }
+    EXPECT_EQ(parallel.records_emitted, serial.records_emitted);
+    EXPECT_EQ(parallel.total_handovers, serial.total_handovers);
+  }
+}
+
+TEST(Determinism, CoreNetworkCountersShardReduceExactly) {
+  const RunCapture serial = run_with_threads(1);
+  ExecWorld& w = ExecWorld::instance();
+  const auto serial_core = w.sim->checkpoint().core;
+
+  (void)run_with_threads(8);
+  const auto parallel_core = w.sim->checkpoint().core;
+  for (const auto region : geo::kAllRegions) {
+    SCOPED_TRACE(static_cast<int>(region));
+    EXPECT_EQ(parallel_core.mme(region).handovers.procedures,
+              serial_core.mme(region).handovers.procedures);
+    EXPECT_EQ(parallel_core.mme(region).handovers.failures,
+              serial_core.mme(region).handovers.failures);
+    EXPECT_EQ(parallel_core.mme(region).path_switches.successes,
+              serial_core.mme(region).path_switches.successes);
+    EXPECT_EQ(parallel_core.sgsn(region).relocations.procedures,
+              serial_core.sgsn(region).relocations.procedures);
+    EXPECT_EQ(parallel_core.msc(region).srvcc.procedures,
+              serial_core.msc(region).srvcc.procedures);
+    EXPECT_EQ(parallel_core.sgw(region).bearer_modifications,
+              serial_core.sgw(region).bearer_modifications);
+  }
+  EXPECT_EQ(serial.total_handovers, serial_core.total_handovers());
+}
+
+TEST(Determinism, ThreadCountMayChangeBetweenDays) {
+  // Day 0 serial, day 1 on four workers — still the serial stream.
+  const RunCapture serial = run_with_threads(1);
+  ExecWorld& w = ExecWorld::instance();
+  telemetry::SignalingDataset dataset;
+  w.sim->restore(w.day0);
+  w.sim->add_sink(&dataset);
+  w.sim->set_threads(1);
+  w.sim->run_day(0);
+  w.sim->set_threads(4);
+  w.sim->run_day(1);
+  w.sim->remove_sink(&dataset);
+
+  std::vector<std::uint8_t> bytes;
+  for (const auto& record : dataset.records()) RecordLog::encode_record(record, bytes);
+  EXPECT_EQ(bytes, serial.record_bytes);
+}
+
+// --- durable log byte-identity ----------------------------------------------
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path(::testing::TempDir() + "tl_exec_" + name) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+std::string log_bytes(const std::string& dir) {
+  std::string all;
+  auto& real = io::StdioFileSystem::instance();
+  for (const auto& name : real.list(dir, "wal-")) {
+    std::ifstream is{dir + "/" + name, std::ios::binary};
+    std::ostringstream os;
+    os << is.rdbuf();
+    all += "[" + name + "]";
+    all += os.str();
+  }
+  return all;
+}
+
+std::string run_durable(unsigned threads, const std::string& dir) {
+  ExecWorld& w = ExecWorld::instance();
+  auto& real = io::StdioFileSystem::instance();
+  RecordLog::Options opt;
+  opt.directory = dir;
+  opt.max_segment_bytes = 24 * 1024;  // several rolls, so boundaries are tested
+  RecordLog log{real, opt};
+  telemetry::DurableRecordSink sink{log};
+  log.open();
+  w.sim->set_threads(threads);
+  w.sim->restore(w.day0);
+  w.sim->attach_durable_log(&sink);
+  w.sim->run();
+  w.sim->remove_sink(&sink);
+  return log_bytes(dir);
+}
+
+TEST(Determinism, DurableLogBytesAreIdenticalAcrossThreadCounts) {
+  TempDir serial_dir{"wal_serial"};
+  TempDir parallel_dir{"wal_parallel"};
+  const std::string serial = run_durable(1, serial_dir.path);
+  ASSERT_FALSE(serial.empty());
+  const std::string parallel = run_durable(8, parallel_dir.path);
+  // WAL frames, day commit markers, embedded checkpoints, segment
+  // boundaries: all byte-identical to the serial run.
+  EXPECT_EQ(parallel, serial);
+}
+
+}  // namespace
+}  // namespace tl
