@@ -7,11 +7,18 @@
 // at every thread count — verified here via a stream checksum, so a perf
 // run that breaks determinism fails loudly instead of reporting a number.
 //
-//   $ bench_throughput [--smoke] [--out PATH]
+//   $ bench_throughput [--smoke] [--resilience] [--out PATH]
 //
 // --smoke shrinks the world to seconds of runtime (CI keeps the binary from
 // rotting); the JSON schema is identical. Scale knobs: TL_BENCH_UES,
 // TL_BENCH_DAYS, TL_BENCH_SCALE, TL_BENCH_SEED (see bench_world.hpp).
+//
+// --resilience measures the cost of supervision instead: the same world runs
+// through the StudySupervisor with seeded task faults (throws, transient
+// EIOs, slowdowns) injected into 0% / 1% / 5% of shard attempts, reporting
+// UE-days/sec and the retry overhead each storm level costs, and writes
+// BENCH_resilience.json. The stream checksum must not move across fault
+// rates — a resilience run that changes bytes fails instead of reporting.
 
 #include <chrono>
 #include <cstdint>
@@ -24,6 +31,8 @@
 #include "bench_world.hpp"
 #include "core/simulator.hpp"
 #include "exec/thread_pool.hpp"
+#include "supervise/supervisor.hpp"
+#include "supervise/task_fault_injector.hpp"
 #include "telemetry/record_log.hpp"
 #include "telemetry/sinks.hpp"
 #include "util/crc32c.hpp"
@@ -85,22 +94,83 @@ Measurement timed_run(tl::core::Simulator& sim, unsigned threads, int days,
   return m;
 }
 
+struct StormMeasurement {
+  double fault_rate = 0.0;
+  double wall_ms = 0.0;
+  double ue_days_per_sec = 0.0;
+  std::uint64_t retries = 0;
+  std::uint64_t shard_attempts = 0;
+  std::uint64_t records = 0;
+  std::uint32_t checksum = 0;
+};
+
+StormMeasurement storm_run(tl::core::Simulator& sim, unsigned threads,
+                           double fault_rate, int days, std::uint64_t seed,
+                           std::uint64_t population) {
+  using namespace tl;
+  supervise::TaskFaultConfig storm;
+  storm.seed = seed ^ 0xBE5111;
+  storm.throw_rate = fault_rate / 3;
+  storm.io_error_rate = fault_rate / 3;
+  storm.slow_rate = fault_rate / 3;
+  storm.slow_ms = 1;
+  storm.max_faulty_attempts = 2;
+  const supervise::TaskFaultInjector injector{storm};
+
+  supervise::SupervisorOptions opt;
+  opt.threads = threads;
+  opt.backoff_initial_ms = 1;
+  opt.backoff_cap_ms = 4;
+  if (fault_rate > 0.0) opt.injector = &injector;
+  supervise::StudySupervisor supervisor{opt};
+
+  ChecksumSink sink;
+  core::DayCheckpoint day0;
+  day0.seed = seed;
+  sim.restore(day0);
+  sim.set_supervisor(&supervisor);
+  sim.add_sink(&sink);
+  const auto start = std::chrono::steady_clock::now();
+  sim.run();
+  const auto stop = std::chrono::steady_clock::now();
+  sim.remove_sink(&sink);
+  sim.set_supervisor(nullptr);
+
+  StormMeasurement m;
+  m.fault_rate = fault_rate;
+  m.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  const double wall_s = m.wall_ms / 1000.0;
+  m.ue_days_per_sec =
+      wall_s > 0 ? static_cast<double>(population) * days / wall_s : 0.0;
+  m.retries = supervisor.summary().retries;
+  m.shard_attempts = supervisor.summary().shard_attempts;
+  m.records = sink.records();
+  m.checksum = sink.checksum();
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace tl;
 
   bool smoke = false;
-  std::string out_path = "BENCH_throughput.json";
+  bool resilience = false;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--resilience") == 0) {
+      resilience = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_throughput [--smoke] [--out PATH]\n";
+      std::cerr << "usage: bench_throughput [--smoke] [--resilience] [--out PATH]\n";
       return 2;
     }
+  }
+  if (out_path.empty()) {
+    out_path = resilience ? "BENCH_resilience.json" : "BENCH_throughput.json";
   }
 
   // Fixed mid-size config: big enough that the per-UE-day work dominates
@@ -120,6 +190,50 @@ int main(int argc, char** argv) {
             << " ues=" << cfg.population.count << " days=" << cfg.days
             << " seed=" << cfg.seed << " hw_threads=" << hw << "\n";
   core::Simulator sim{cfg};
+
+  if (resilience) {
+    const unsigned threads = smoke ? 2 : std::min(hw, 4u);
+    std::vector<StormMeasurement> storms;
+    for (const double rate : {0.0, 0.01, 0.05}) {
+      const StormMeasurement m =
+          storm_run(sim, threads, rate, cfg.days, cfg.seed, cfg.population.count);
+      std::cerr << "[bench_throughput] fault_rate=" << rate << " wall_ms=" << m.wall_ms
+                << " ue_days/s=" << m.ue_days_per_sec << " retries=" << m.retries
+                << " attempts=" << m.shard_attempts << " crc=" << std::hex
+                << m.checksum << std::dec << "\n";
+      storms.push_back(m);
+    }
+    for (const auto& m : storms) {
+      if (m.records != storms.front().records ||
+          m.checksum != storms.front().checksum) {
+        std::cerr << "[bench_throughput] FAIL: stream at fault_rate=" << m.fault_rate
+                  << " differs from the fault-free supervised run\n";
+        return 1;
+      }
+    }
+    std::ofstream json{out_path, std::ios::trunc};
+    json << "[\n";
+    for (std::size_t i = 0; i < storms.size(); ++i) {
+      const auto& m = storms[i];
+      const double overhead =
+          storms.front().wall_ms > 0 ? m.wall_ms / storms.front().wall_ms - 1.0 : 0.0;
+      json << "  {\"fault_rate\": " << m.fault_rate << ", \"threads\": " << threads
+           << ", \"ue_days_per_sec\": " << static_cast<std::uint64_t>(m.ue_days_per_sec)
+           << ", \"wall_ms\": " << static_cast<std::uint64_t>(m.wall_ms)
+           << ", \"retries\": " << m.retries
+           << ", \"shard_attempts\": " << m.shard_attempts
+           << ", \"retry_overhead_pct\": " << static_cast<std::int64_t>(overhead * 100)
+           << ", \"seed\": " << cfg.seed << "}" << (i + 1 < storms.size() ? "," : "")
+           << "\n";
+    }
+    json << "]\n";
+    if (!json) {
+      std::cerr << "[bench_throughput] FAIL: could not write " << out_path << "\n";
+      return 1;
+    }
+    std::cerr << "[bench_throughput] wrote " << out_path << "\n";
+    return 0;
+  }
 
   std::vector<Measurement> results;
   for (const unsigned threads : sweep) {

@@ -13,6 +13,7 @@
 #include "io/file.hpp"
 #include "mobility/metrics.hpp"
 #include "ran/propagation.hpp"
+#include "supervise/cancellation.hpp"
 #include "util/crc32c.hpp"
 
 namespace tl::core {
@@ -126,6 +127,20 @@ void Simulator::remove_metrics_sink(telemetry::MetricsSink* sink) {
                        metrics_sinks_.end());
 }
 
+void Simulator::set_quarantined_ues(std::vector<devices::UeId> ues) {
+  std::sort(ues.begin(), ues.end());
+  ues.erase(std::unique(ues.begin(), ues.end()), ues.end());
+  if (!ues.empty() && ues.back() >= population_->size()) {
+    throw std::invalid_argument{"Simulator::set_quarantined_ues: UE id out of range"};
+  }
+  quarantined_ues_ = std::move(ues);
+}
+
+bool Simulator::is_quarantined(devices::UeId ue) const noexcept {
+  return !quarantined_ues_.empty() &&
+         std::binary_search(quarantined_ues_.begin(), quarantined_ues_.end(), ue);
+}
+
 void Simulator::set_fault_schedule(const faults::FaultSchedule* schedule) {
   faults_ = schedule;
   energy_.set_availability_override(schedule);
@@ -177,6 +192,7 @@ DayCheckpoint Simulator::checkpoint() const {
   cp.seed = config_.seed;
   cp.records_emitted = records_emitted_;
   cp.core = core_;
+  cp.quarantined_ues = quarantined_ues_;
   return cp;
 }
 
@@ -190,6 +206,7 @@ void Simulator::restore(const DayCheckpoint& checkpoint) {
   next_day_ = checkpoint.next_day;
   records_emitted_ = checkpoint.records_emitted;
   core_ = checkpoint.core;
+  set_quarantined_ues(checkpoint.quarantined_ues);
 }
 
 void Simulator::save_checkpoint(const std::string& path) const {
@@ -198,10 +215,13 @@ void Simulator::save_checkpoint(const std::string& path) const {
   // temp file, fsync, then rename over the target. A crash at any point
   // leaves either the old checkpoint or the new one — never a torn mix.
   std::ostringstream body;
-  body << "telcolens-checkpoint v2\n";
+  body << "telcolens-checkpoint v3\n";
   body << "seed " << config_.seed << "\n";
   body << "next_day " << next_day_ << "\n";
   body << "records_emitted " << records_emitted_ << "\n";
+  body << "quarantined " << quarantined_ues_.size();
+  for (const auto ue : quarantined_ues_) body << " " << ue;
+  body << "\n";
   for (const auto region : geo::kAllRegions) {
     const auto& mme = core_.mme(region);
     const auto& sgsn = core_.sgsn(region);
@@ -268,13 +288,28 @@ bool Simulator::load_checkpoint(const std::string& path) {
 
   std::istringstream is{payload};
   std::string magic, version, key;
-  if (!(is >> magic >> version) || magic != "telcolens-checkpoint" || version != "v2") {
+  if (!(is >> magic >> version) || magic != "telcolens-checkpoint" ||
+      (version != "v2" && version != "v3")) {
     throw corrupt();
   }
   DayCheckpoint cp;
   if (!(is >> key >> cp.seed) || key != "seed") throw corrupt();
   if (!(is >> key >> cp.next_day) || key != "next_day") throw corrupt();
   if (!(is >> key >> cp.records_emitted) || key != "records_emitted") throw corrupt();
+  if (version == "v3") {
+    // v3 adds the quarantined-UE set; v2 files (pre-supervision) imply none.
+    std::size_t count = 0;
+    if (!(is >> key >> count) || key != "quarantined") throw corrupt();
+    cp.quarantined_ues.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      devices::UeId ue = 0;
+      if (!(is >> ue)) throw corrupt();
+      if (!cp.quarantined_ues.empty() && ue <= cp.quarantined_ues.back()) {
+        throw corrupt();  // canonical form is sorted + unique
+      }
+      cp.quarantined_ues.push_back(ue);
+    }
+  }
   for (std::size_t i = 0; i < geo::kAllRegions.size(); ++i) {
     int region_index = -1;
     if (!(is >> key >> region_index) || key != "region" || region_index < 0 ||
@@ -304,19 +339,43 @@ bool Simulator::load_checkpoint(const std::string& path) {
 
 void Simulator::run_day(int day) {
   if (day < 0) throw std::invalid_argument{"Simulator::run_day: negative day"};
-  const unsigned threads = exec::ThreadPool::resolve_threads(config_.threads);
-  if (threads > 1 && population_->size() > 1) {
-    run_day_sharded(day, threads);
-  } else {
-    run_day_serial(day);
+  // The day is transactional: if anything below throws — a sink mid-day, a
+  // failed durable commit, an unsupervised shard failure — the simulator
+  // state rolls back to the day's start, so a later retry (or a resumed
+  // process) replays the day exactly once instead of double-counting the
+  // partial attempt. The quarantine set deliberately survives the rollback:
+  // it is discovered deterministically and a re-run would re-derive it.
+  const corenet::CoreNetwork core_before = core_;
+  const std::uint64_t emitted_before = records_emitted_;
+  try {
+    const unsigned threads = exec::ThreadPool::resolve_threads(config_.threads);
+    if (supervisor_ != nullptr && population_->size() > 1) {
+      run_day_supervised(day);
+    } else if (threads > 1 && population_->size() > 1) {
+      run_day_sharded(day, threads);
+    } else {
+      run_day_serial(day);
+    }
+    // Sequential progress advances the checkpoint cursor; replaying an
+    // already-completed day leaves it alone. The cursor moves BEFORE the
+    // sinks' day-end hooks so a durable log's commit marker embeds the
+    // post-day checkpoint (resume point = day + 1) atomically with the
+    // day's records.
+    if (day == next_day_) next_day_ = day + 1;
+    for (auto* sink : sinks_) sink->on_day_end(day);
+  } catch (...) {
+    // Once the durable log has committed the day, the day happened — a
+    // later sink's failure must not rewind state the log already persisted.
+    const bool committed =
+        durable_ != nullptr && durable_->log().last_committed_day() >= day;
+    if (!committed) {
+      core_ = core_before;
+      records_emitted_ = emitted_before;
+      if (next_day_ == day + 1) next_day_ = day;
+      if (durable_ != nullptr) durable_->log().discard_day();
+    }
+    throw;
   }
-  // Sequential progress advances the checkpoint cursor; replaying an
-  // already-completed day leaves it alone. The cursor moves BEFORE the
-  // sinks' day-end hooks so a durable log's commit marker embeds the
-  // post-day checkpoint (resume point = day + 1) atomically with the
-  // day's records.
-  if (day == next_day_) next_day_ = day + 1;
-  for (auto* sink : sinks_) sink->on_day_end(day);
 }
 
 void Simulator::run_day_serial(int day) {
@@ -325,6 +384,7 @@ void Simulator::run_day_serial(int day) {
   out.sinks = {sinks_.data(), sinks_.size()};
   out.metrics_sinks = {metrics_sinks_.data(), metrics_sinks_.size()};
   for (const auto& ue : population_->ues()) {
+    if (is_quarantined(ue.id)) continue;
     // Only 4G/5G-capable devices produce records at the EPC observation
     // point (§8): legacy-only UEs handover inside 2G/3G, which the MME
     // never sees — but their mobility metrics still exist network-side.
@@ -369,6 +429,7 @@ void Simulator::run_day_sharded(int day, unsigned threads) {
         if (want_metrics) out.metrics_sinks = {&metrics_sink, 1};
         for (std::size_t i = first; i < last; ++i) {
           const auto& ue = ues[i];
+          if (is_quarantined(ue.id)) continue;
           if (topology::supports(ue.rat_support, topology::Rat::kG4)) {
             simulate_ue_day(ue, plans_[ue.id], day, out);
           } else if (want_metrics) {
@@ -433,6 +494,7 @@ void Simulator::simulate_legacy_ue_day(const devices::Ue& ue,
   std::uint32_t handovers = 0;
 
   for (const auto& event : trace) {
+    if (out.cancel != nullptr) out.cancel->throw_if_cancelled();
     if (serving == kInvalidSector) break;
     const int bin = util::SimCalendar::half_hour_bin(event.time);
     const topology::SectorId target =
@@ -495,6 +557,9 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
   const double voice_share = config_.voice_share[static_cast<std::size_t>(ue.type)];
 
   for (const auto& event : trace) {
+    // Cooperative cancellation point: the watchdog's deadline reaches into
+    // the hot loop here, once per trace event (one relaxed atomic load).
+    if (out.cancel != nullptr) out.cancel->throw_if_cancelled();
     if (serving == kInvalidSector) break;  // out of coverage world; nothing observable
     const int bin = util::SimCalendar::half_hour_bin(event.time);
     const auto& source = deployment_->sector(serving);

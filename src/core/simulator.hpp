@@ -37,10 +37,17 @@ namespace tl::exec {
 class ShardedDayRunner;
 }
 
+namespace tl::supervise {
+class CancelToken;
+class StudySupervisor;
+}
+
 namespace tl::core {
 
 /// Everything needed to resume a run after the last completed day: the day
-/// cursor, the record counter and the core-network entity counters. All
+/// cursor, the record counter, the core-network entity counters, and the
+/// quarantined-UE set (UEs withdrawn from the population by supervised
+/// degradation — resuming without it would replay different bytes). All
 /// other simulator state is either immutable after construction or derived
 /// per (seed, ue, day), so days are independent replay units.
 struct DayCheckpoint {
@@ -48,6 +55,7 @@ struct DayCheckpoint {
   std::uint64_t seed = 0;  // guards against resuming a mismatched study
   std::uint64_t records_emitted = 0;
   corenet::CoreNetwork core;
+  std::vector<devices::UeId> quarantined_ues;  // sorted, unique
 };
 
 class Simulator {
@@ -94,6 +102,27 @@ class Simulator {
   /// merge back in canonical UE order, so sinks — including an attached
   /// durable log — observe a stream byte-identical to the serial run.
   void run_day(int day);
+
+  /// Installs (or clears, with nullptr) a borrowed supervisor: subsequent
+  /// days execute through StudySupervisor::run_day — shard attempts get
+  /// retries with backoff, watchdog deadlines (cooperative cancellation
+  /// polled in the per-trace-event hot loop), and poison-UE bisection +
+  /// quarantine — instead of aborting on the first shard failure. Output
+  /// stays byte-identical to an unsupervised serial run over the surviving
+  /// (non-quarantined) population. The supervisor must outlive the runs.
+  void set_supervisor(supervise::StudySupervisor* supervisor) noexcept {
+    supervisor_ = supervisor;
+  }
+  supervise::StudySupervisor* supervisor() const noexcept { return supervisor_; }
+
+  /// Replaces the quarantined-UE set (sorted internally). Quarantined UEs
+  /// are skipped by every execution path — serial, sharded, supervised — so
+  /// a fresh simulator seeded with a previous run's quarantine reproduces
+  /// its surviving-population stream exactly.
+  void set_quarantined_ues(std::vector<devices::UeId> ues);
+  const std::vector<devices::UeId>& quarantined_ues() const noexcept {
+    return quarantined_ues_;
+  }
 
   /// Re-targets subsequent run()/run_day() calls at `threads` workers
   /// (0 = all hardware threads, 1 = serial). Simulation output is invariant
@@ -142,10 +171,19 @@ class Simulator {
     std::span<telemetry::RecordSink* const> sinks;
     std::span<telemetry::MetricsSink* const> metrics_sinks;
     std::uint64_t records = 0;
+    /// Cooperative cancellation, polled once per trace event. Null (the
+    /// serial/sharded paths) costs a single branch per event; the
+    /// supervised path points it at the shard attempt's token so a
+    /// watchdog-fired deadline interrupts the UE mid-day.
+    const supervise::CancelToken* cancel = nullptr;
   };
 
   void run_day_serial(int day);
   void run_day_sharded(int day, unsigned threads);
+  /// Defined in simulator_supervised.cpp (the only TU that needs the
+  /// supervisor's full type).
+  void run_day_supervised(int day);
+  bool is_quarantined(devices::UeId ue) const noexcept;
   void simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& plan, int day,
                        EmitFrame& out) const;
   /// Legacy-only UEs never surface at the EPC observation point, but their
@@ -191,6 +229,10 @@ class Simulator {
   /// Parallel engine, created on the first sharded day and kept across days
   /// (and across set_threads() calls that don't change the count).
   std::unique_ptr<exec::ShardedDayRunner> runner_;
+  supervise::StudySupervisor* supervisor_ = nullptr;
+  /// UEs withdrawn from the study by supervised degradation (sorted,
+  /// unique). Part of the checkpoint: resume must skip the same UEs.
+  std::vector<devices::UeId> quarantined_ues_;
   std::uint64_t records_emitted_ = 0;
   int next_day_ = 0;
 };

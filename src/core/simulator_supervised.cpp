@@ -1,0 +1,101 @@
+// Simulator <-> StudySupervisor glue: the only TU in tl_core that needs the
+// supervisor's full type. The supervisor is generic over item indices; here
+// items become UEs (UeId == population index), the per-shard staging becomes
+// CoreNetwork + record/metrics buffers, and the merge becomes the same
+// ordered drain the unsupervised sharded path uses — which is why a
+// supervised run's output is byte-identical to an unsupervised serial run
+// over the surviving population.
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "exec/buffers.hpp"
+#include "supervise/supervisor.hpp"
+
+namespace tl::core {
+
+void Simulator::run_day_supervised(int day) {
+  supervise::StudySupervisor& sup = *supervisor_;
+  const auto& ues = population_->ues();
+  const bool want_metrics = config_.collect_ue_metrics && !metrics_sinks_.empty();
+  const supervise::TaskFaultInjector* injector = sup.options().injector;
+
+  struct Shard {
+    corenet::CoreNetwork core;
+    exec::RecordBuffer records;
+    exec::MetricsBuffer metrics;
+    std::uint64_t emitted = 0;
+  };
+  std::vector<Shard> shards(sup.shard_count(ues.size()));
+
+  // Shared by shard attempts (worker threads) and bisection probes (caller
+  // thread): simulate [first, last) into `staging`, honoring the skip set
+  // and the cancellation token. Resets the staging on entry so a retried
+  // attempt can never double-emit.
+  const auto simulate_range = [&](Shard& staging, std::size_t first,
+                                  std::size_t last,
+                                  const supervise::CancelToken* cancel,
+                                  std::span<const std::uint32_t> skip) {
+    staging = Shard{};
+    telemetry::RecordSink* record_sink = &staging.records;
+    telemetry::MetricsSink* metrics_sink = &staging.metrics;
+    EmitFrame out;
+    out.core = &staging.core;
+    out.sinks = {&record_sink, 1};
+    if (want_metrics) out.metrics_sinks = {&metrics_sink, 1};
+    out.cancel = cancel;
+    for (std::size_t i = first; i < last; ++i) {
+      const auto& ue = ues[i];
+      if (std::binary_search(skip.begin(), skip.end(),
+                             static_cast<std::uint32_t>(ue.id))) {
+        continue;
+      }
+      if (cancel != nullptr) cancel->throw_if_cancelled();
+      // Poison channel of the chaos injector: per-UE, day- and
+      // thread-independent, so bisection isolates the same UEs everywhere.
+      if (injector != nullptr) injector->on_ue(ue.id, cancel);
+      if (topology::supports(ue.rat_support, topology::Rat::kG4)) {
+        simulate_ue_day(ue, plans_[ue.id], day, out);
+      } else if (want_metrics) {
+        simulate_legacy_ue_day(ue, plans_[ue.id], day, out);
+      }
+    }
+    staging.emitted = out.records;
+  };
+
+  const supervise::DayReport report = sup.run_day(
+      day, ues.size(), quarantined_ues_,
+      [&](std::size_t shard, std::size_t first, std::size_t last,
+          const supervise::CancelToken* cancel,
+          std::span<const std::uint32_t> skip) {
+        simulate_range(shards[shard], first, last, cancel, skip);
+      },
+      [&](std::size_t first, std::size_t last,
+          const supervise::CancelToken* cancel,
+          std::span<const std::uint32_t> skip) {
+        Shard scratch;  // probe output is evidence, not data — discarded
+        simulate_range(scratch, first, last, cancel, skip);
+      },
+      [&](std::size_t shard) {
+        Shard& s = shards[shard];
+        s.records.drain_to({sinks_.data(), sinks_.size()});
+        s.metrics.drain_to({metrics_sinks_.data(), metrics_sinks_.size()});
+        core_.accumulate(s.core);
+        records_emitted_ += s.emitted;
+      });
+
+  // Fold the day's quarantine into the persistent set BEFORE run_day()'s
+  // on_day_end loop fires: the durable log's commit marker must embed the
+  // post-day checkpoint including the UEs this very day withdrew.
+  for (const auto& q : report.quarantined) {
+    const auto pos = std::lower_bound(quarantined_ues_.begin(),
+                                      quarantined_ues_.end(), q.item);
+    if (pos == quarantined_ues_.end() || *pos != q.item) {
+      quarantined_ues_.insert(pos, q.item);
+    }
+  }
+}
+
+}  // namespace tl::core

@@ -48,9 +48,10 @@ void ShardedDayRunner::run(std::size_t item_count, const SimulateFn& simulate,
     for (std::size_t shard = 0; shard < shards; ++shard) {
       const std::size_t first = shard * item_count / shards;
       const std::size_t last = (shard + 1) * item_count / shards;
-      pool_.submit([&states, &mutex, &shard_done, &simulate, shard, first, last] {
+      pool_.submit([this, &states, &mutex, &shard_done, &simulate, shard, first, last] {
         std::exception_ptr error;
         try {
+          if (options_.task_hook) options_.task_hook(shard, first, last);
           simulate(shard, first, last);
         } catch (...) {
           error = std::current_exception();

@@ -35,12 +35,23 @@ class ShardedDayRunner {
     /// Shards per worker (> 1 lets finished workers steal ahead of a slow
     /// shard instead of idling at the merge barrier).
     unsigned shards_per_thread = 4;
+    /// Chaos/observability seam: invoked on the worker thread at the top of
+    /// every shard task, before the simulate callback. An exception thrown
+    /// here poisons the shard exactly like one thrown by simulate — which
+    /// is the point: it lets a TaskFaultInjector (src/supervise) attack the
+    /// task boundary without touching the code under test.
+    std::function<void(std::size_t shard, std::size_t first, std::size_t last)>
+        task_hook;
   };
 
   ShardedDayRunner();  // default Options
   explicit ShardedDayRunner(Options options);
 
   unsigned thread_count() const noexcept { return pool_.size(); }
+
+  /// The underlying pool, for callers (StudySupervisor) that schedule their
+  /// own attempts while reusing this runner's workers and shard geometry.
+  ThreadPool& pool() noexcept { return pool_; }
 
   /// Number of shards run() will use for `item_count` items: at most
   /// threads * shards_per_thread, never more than one shard per item.

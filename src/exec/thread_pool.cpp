@@ -34,16 +34,19 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::shutdown() {
+  // Claim the worker handles under the lock so concurrent shutdown() calls
+  // (or shutdown racing the destructor) each join a disjoint set — the
+  // loser of the swap sees an empty vector and returns immediately.
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock{mutex_};
-    if (shutting_down_ && workers_.empty()) return;
     shutting_down_ = true;
+    workers.swap(workers_);
   }
   work_available_.notify_all();
-  for (auto& worker : workers_) {
+  for (auto& worker : workers) {
     if (worker.joinable()) worker.join();
   }
-  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {

@@ -44,7 +44,10 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Stops accepting work, runs every already-queued task, joins all
-  /// workers. Idempotent; called by the destructor.
+  /// workers. Idempotent and safe to race from several threads; called by
+  /// the destructor. A queued task that throws during the drain parks its
+  /// exception in its paired future (std::packaged_task semantics) — it
+  /// never reaches std::terminate, even when the pool is mid-destruction.
   void shutdown();
 
  private:

@@ -1,0 +1,76 @@
+#pragma once
+
+// Cooperative cancellation for shard tasks.
+//
+// The watchdog cannot kill a thread; it can only ask the work to stop. A
+// CancelToken is that ask: a single atomic the hot loop polls once per trace
+// event (one relaxed load — cheap enough for the EmitFrame path), carrying
+// the StatusCode that explains WHY the task should stop. Header-only so
+// tl_core can poll tokens without linking tl_supervise.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "supervise/status.hpp"
+
+namespace tl::supervise {
+
+/// Thrown by CancelToken::throw_if_cancelled(); carries the cancellation
+/// reason so classify_exception() can preserve it (deadline vs. explicit).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(StatusCode code)
+      : std::runtime_error(code == StatusCode::kDeadlineExceeded
+                               ? "shard deadline exceeded"
+                               : "shard cancelled"),
+        code_(code) {}
+
+  StatusCode code() const noexcept { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+/// One token per in-flight shard attempt. First cancel() wins; later calls
+/// with a different reason are ignored so the recorded cause is the one that
+/// actually interrupted the work.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel(StatusCode reason = StatusCode::kCancelled) noexcept {
+    std::uint8_t expected = kLive;
+    code_.compare_exchange_strong(expected, static_cast<std::uint8_t>(reason),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  }
+
+  bool cancelled() const noexcept {
+    return code_.load(std::memory_order_acquire) != kLive;
+  }
+
+  /// Only meaningful once cancelled() is true.
+  StatusCode reason() const noexcept {
+    const std::uint8_t raw = code_.load(std::memory_order_acquire);
+    return raw == kLive ? StatusCode::kOk : static_cast<StatusCode>(raw);
+  }
+
+  void throw_if_cancelled() const {
+    const std::uint8_t raw = code_.load(std::memory_order_relaxed);
+    if (raw != kLive) throw CancelledError{static_cast<StatusCode>(raw)};
+  }
+
+  /// Re-arm for the next attempt. Callers must guarantee no concurrent use.
+  void reset() noexcept { code_.store(kLive, std::memory_order_release); }
+
+ private:
+  // kLive is distinct from every StatusCode value we would cancel with
+  // (cancel(kOk) would read back as "cancelled with kOk" — don't do that).
+  static constexpr std::uint8_t kLive = 0xFF;
+  std::atomic<std::uint8_t> code_{kLive};
+};
+
+}  // namespace tl::supervise

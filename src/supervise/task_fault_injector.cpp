@@ -1,0 +1,114 @@
+#include "supervise/task_fault_injector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "io/file.hpp"
+#include "supervise/status.hpp"
+#include "util/rng.hpp"
+
+namespace tl::supervise {
+namespace {
+
+// Channel salts keep the task and poison streams statistically independent
+// of each other and of every simulation stream.
+constexpr std::uint64_t kTaskSalt = 0x7a5cf417u;
+constexpr std::uint64_t kPoisonSalt = 0x0901507eu;
+constexpr std::uint64_t kPoisonHangSalt = 0x0901507fu;
+
+}  // namespace
+
+TaskFaultInjector::TaskFaultInjector(TaskFaultConfig config)
+    : config_(std::move(config)) {
+  std::sort(config_.poison_ues.begin(), config_.poison_ues.end());
+  config_.poison_ues.erase(
+      std::unique(config_.poison_ues.begin(), config_.poison_ues.end()),
+      config_.poison_ues.end());
+}
+
+TaskFault TaskFaultInjector::decide_task(int day, std::size_t shard, int attempt) const {
+  if (attempt > config_.max_faulty_attempts) return TaskFault::kNone;
+  util::Rng rng = util::Rng::derive(util::derive_seed(config_.seed, kTaskSalt),
+                                    static_cast<std::uint64_t>(day),
+                                    static_cast<std::uint64_t>(shard),
+                                    static_cast<std::uint64_t>(attempt));
+  double u = rng.uniform();
+  if ((u -= config_.throw_rate) < 0) return TaskFault::kThrow;
+  if ((u -= config_.io_error_rate) < 0) return TaskFault::kIoError;
+  if ((u -= config_.hang_rate) < 0) return TaskFault::kHang;
+  if ((u -= config_.slow_rate) < 0) return TaskFault::kSlow;
+  return TaskFault::kNone;
+}
+
+void TaskFaultInjector::hang(const CancelToken* token) const {
+  // Cooperative hang: spin in 1 ms naps until someone cancels us. The cap
+  // is a harness safety net — with no supervisor (token == nullptr, or
+  // deadlines disabled) the "hang" degrades to a long stall instead of a
+  // deadlock.
+  using clock = std::chrono::steady_clock;
+  const auto give_up = clock::now() + std::chrono::milliseconds(config_.hang_cap_ms);
+  while (clock::now() < give_up) {
+    if (token != nullptr) token->throw_if_cancelled();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void TaskFaultInjector::on_task_begin(int day, std::size_t shard, int attempt,
+                                      const CancelToken* token) const {
+  switch (decide_task(day, shard, attempt)) {
+    case TaskFault::kNone:
+      return;
+    case TaskFault::kThrow:
+      throw std::runtime_error{"injected task failure (day " + std::to_string(day) +
+                               ", shard " + std::to_string(shard) + ", attempt " +
+                               std::to_string(attempt) + ")"};
+    case TaskFault::kIoError:
+      throw io::IoError{"injected transient EIO (day " + std::to_string(day) +
+                        ", shard " + std::to_string(shard) + ")"};
+    case TaskFault::kHang:
+      // If the watchdog cancels us, hang() throws CancelledError; if nobody
+      // does, the cap expires and the task proceeds normally (merely late).
+      hang(token);
+      return;
+    case TaskFault::kSlow:
+      std::this_thread::sleep_for(std::chrono::milliseconds(config_.slow_ms));
+      return;
+  }
+}
+
+bool TaskFaultInjector::is_poison(std::uint32_t ue) const {
+  if (std::binary_search(config_.poison_ues.begin(), config_.poison_ues.end(), ue)) {
+    return true;
+  }
+  if (config_.poison_ue_fraction <= 0.0) return false;
+  return util::Rng::derive(util::derive_seed(config_.seed, kPoisonSalt), ue)
+      .chance(config_.poison_ue_fraction);
+}
+
+void TaskFaultInjector::on_ue(std::uint32_t ue, const CancelToken* token) const {
+  if (!is_poison(ue)) return;
+  const bool hangs =
+      config_.poison_hang_fraction > 0.0 &&
+      util::Rng::derive(util::derive_seed(config_.seed, kPoisonHangSalt), ue)
+          .chance(config_.poison_hang_fraction);
+  if (hangs) {
+    // A hanging poison UE is first interrupted by the deadline (CancelledError
+    // out of hang()); with deadlines off, the cap expires and it falls through
+    // to the deterministic throw below — either way every attempt fails.
+    hang(token);
+  }
+  throw PermanentError{"injected poison UE " + std::to_string(ue)};
+}
+
+std::vector<std::uint32_t> TaskFaultInjector::poison_set(std::uint32_t universe) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t ue = 0; ue < universe; ++ue) {
+    if (is_poison(ue)) out.push_back(ue);
+  }
+  return out;
+}
+
+}  // namespace tl::supervise

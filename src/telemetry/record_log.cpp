@@ -144,6 +144,11 @@ void RecordLog::commit_day(int day, std::span<const std::uint8_t> app_state) {
   open_ = true;
 }
 
+void RecordLog::discard_day() noexcept {
+  day_buffer_.clear();
+  buffered_records_ = 0;
+}
+
 void RecordLog::roll_segment() {
   current_->close();
   current_.reset();

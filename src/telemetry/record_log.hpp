@@ -85,6 +85,12 @@ class RecordLog {
   /// Days must be committed in increasing order.
   void commit_day(int day, std::span<const std::uint8_t> app_state);
 
+  /// Drops the buffered, not-yet-committed day without any I/O. The
+  /// simulator's day-rollback path calls this when a day aborts after some
+  /// records were already appended — otherwise the next commit_day would
+  /// smuggle the aborted day's partial records into a later day's frame.
+  void discard_day() noexcept;
+
   int last_committed_day() const noexcept { return last_committed_day_; }
   std::uint64_t committed_records() const noexcept { return committed_records_; }
   std::size_t buffered_records() const noexcept { return buffered_records_; }

@@ -884,6 +884,143 @@ TEST(SimulatorDurability, ResumeFromLogRejectsMismatchedSeed) {
   EXPECT_THROW(sim.run(), std::runtime_error);
 }
 
+/// Sink that dies after consuming `budget` records (or, with budget < 0, in
+/// on_day_end) — the "analysis plugin with a bug" failure mode.
+class ExplodingSink final : public telemetry::RecordSink {
+ public:
+  explicit ExplodingSink(std::int64_t budget) : budget_(budget) {}
+
+  void consume(const HandoverRecord&) override {
+    if (budget_ >= 0 && consumed_++ >= budget_) {
+      throw std::runtime_error{"sink exploded mid-day"};
+    }
+  }
+  void on_day_end(int) override {
+    if (budget_ < 0) throw std::runtime_error{"sink exploded at day end"};
+  }
+
+ private:
+  std::int64_t budget_ = 0;
+  std::int64_t consumed_ = 0;
+};
+
+TEST(SimulatorDurability, SinkThrowMidDayRollsBackAndReplaysExactlyOnce) {
+  const StudyConfig cfg = chaos_config();
+
+  telemetry::SignalingDataset clean;
+  Simulator reference{cfg};
+  reference.add_sink(&clean);
+  reference.run();
+
+  // Mid-day sink failure WITHOUT a durable log: the day must roll back
+  // wholesale — cursor, record counter, core counters — so a retry replays
+  // it exactly once instead of double-counting the partial emission.
+  Simulator sim{cfg};
+  ExplodingSink bomb{25};
+  sim.add_sink(&bomb);
+  EXPECT_THROW(sim.run_day(0), std::runtime_error);
+  EXPECT_EQ(sim.next_day(), 0);
+  EXPECT_EQ(sim.records_emitted(), 0u);
+  EXPECT_EQ(sim.core_network().total_handovers(), 0u);
+  sim.remove_sink(&bomb);
+
+  telemetry::SignalingDataset replay;
+  sim.add_sink(&replay);
+  sim.run();
+  EXPECT_EQ(sim.next_day(), cfg.days);
+  expect_identical({replay.records().begin(), replay.records().end()},
+                   {clean.records().begin(), clean.records().end()});
+}
+
+TEST(SimulatorDurability, SinkThrowMidDayNeverCommitsAPartialDayToTheLog) {
+  const StudyConfig cfg = chaos_config();
+  auto& real = io::StdioFileSystem::instance();
+
+  TempDir ref_dir{"sink_throw_ref"};
+  RecordLog::Options ref_opt;
+  ref_opt.directory = ref_dir.path;
+  {
+    RecordLog log{real, ref_opt};
+    DurableRecordSink sink{log};
+    Simulator reference{cfg};
+    reference.attach_durable_log(&sink);
+    reference.run();
+  }
+  const std::string ref_bytes = log_bytes(ref_dir.path);
+
+  TempDir dir{"sink_throw"};
+  RecordLog::Options opt;
+  opt.directory = dir.path;
+
+  // Phase 1: a buggy secondary sink kills day 0 mid-emission. The durable
+  // buffer must be discarded with the rest of the day — nothing reached disk.
+  {
+    RecordLog log{real, opt};
+    log.open();
+    DurableRecordSink sink{log};
+    Simulator sim{cfg};
+    sim.attach_durable_log(&sink);
+    ExplodingSink bomb{25};
+    sim.add_sink(&bomb);
+    EXPECT_THROW(sim.run_day(0), std::runtime_error);
+    EXPECT_EQ(log.last_committed_day(), -1);
+    EXPECT_EQ(sim.next_day(), 0);
+    EXPECT_EQ(sim.records_emitted(), 0u);
+  }
+  EXPECT_TRUE(real.list(dir.path, "wal-").empty() ||
+              RecordLog::read_all(real, dir.path).empty());
+
+  // Phase 2: resume from the log; the interrupted day replays exactly once
+  // and the final WAL is byte-identical to the never-interrupted run.
+  {
+    RecordLog log{real, opt};
+    DurableRecordSink sink{log};
+    Simulator sim{cfg};
+    sim.attach_durable_log(&sink);
+    sim.run();
+    EXPECT_EQ(log.last_committed_day(), cfg.days - 1);
+  }
+  EXPECT_EQ(log_bytes(dir.path), ref_bytes);
+}
+
+TEST(SimulatorDurability, SinkThrowAfterDurableCommitDoesNotRollBack) {
+  // The durable sink commits in registration order; a later sink throwing in
+  // on_day_end finds the day already on disk — rolling back state would then
+  // disagree with the log, so run_day must keep the completed day.
+  const StudyConfig cfg = chaos_config();
+  auto& real = io::StdioFileSystem::instance();
+
+  TempDir ref_dir{"day_end_ref"};
+  RecordLog::Options ref_opt;
+  ref_opt.directory = ref_dir.path;
+  {
+    RecordLog log{real, ref_opt};
+    DurableRecordSink sink{log};
+    Simulator reference{cfg};
+    reference.attach_durable_log(&sink);
+    reference.run();
+  }
+
+  TempDir dir{"day_end"};
+  RecordLog::Options opt;
+  opt.directory = dir.path;
+  {
+    RecordLog log{real, opt};
+    log.open();
+    DurableRecordSink sink{log};
+    Simulator sim{cfg};
+    sim.attach_durable_log(&sink);  // registered first: commits first
+    ExplodingSink bomb{-1};         // throws in on_day_end, after the commit
+    sim.add_sink(&bomb);
+    EXPECT_THROW(sim.run_day(0), std::runtime_error);
+    EXPECT_EQ(log.last_committed_day(), 0);
+    EXPECT_EQ(sim.next_day(), 1);  // the day is durable — no rollback
+    sim.remove_sink(&bomb);
+    sim.run();
+  }
+  EXPECT_EQ(log_bytes(dir.path), log_bytes(ref_dir.path));
+}
+
 // --- the chaos harness -------------------------------------------------------
 
 int chaos_schedule_count() {

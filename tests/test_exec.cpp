@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -95,6 +96,55 @@ TEST(ThreadPool, SubmitAfterShutdownThrows) {
   ThreadPool pool{1};
   pool.shutdown();
   EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ThrowingTasksDuringDrainParkInFuturesNotTerminate) {
+  // Destruction drains the queue; tasks that throw while draining must park
+  // their exception in the future (std::terminate would kill the process —
+  // the mere completion of this test is the assertion).
+  std::vector<std::future<void>> futures;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.submit([&ran, i] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+        if (i % 3 == 0) throw std::domain_error{"drain boom " + std::to_string(i)};
+      }));
+    }
+    // ~ThreadPool runs here with most tasks still queued.
+  }
+  EXPECT_EQ(ran.load(), 32);
+  int threw = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      futures[i].get();
+    } catch (const std::domain_error&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw, 32 / 3 + 1);
+}
+
+TEST(ThreadPool, ConcurrentShutdownIsSafeAndIdempotent) {
+  // Shutdown can race destruction (supervisor teardown paths): both callers
+  // must be able to join without double-joining a worker.
+  ThreadPool pool{3};
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ran.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&pool] { pool.shutdown(); });
+  }
+  for (auto& t : closers) t.join();
+  pool.shutdown();  // idempotent after the race
+  EXPECT_EQ(ran.load(), 16);
 }
 
 // --- sharded runner ----------------------------------------------------------
@@ -193,6 +243,55 @@ TEST(ShardedDayRunner, RunnerIsReusableAcrossRuns) {
     EXPECT_EQ(simulated.load(), 50u);
     EXPECT_EQ(merged, runner.shard_count(50));
   }
+}
+
+TEST(ShardedDayRunner, TaskHookRunsOncePerShardBeforeSimulate) {
+  ShardedDayRunner::Options opt = runner_options(2);
+  std::mutex mu;
+  std::vector<std::size_t> hooked;
+  std::atomic<bool> order_ok{true};
+  std::vector<std::atomic<int>> simulated(16);
+  opt.task_hook = [&](std::size_t shard, std::size_t first, std::size_t last) {
+    std::lock_guard<std::mutex> lock{mu};
+    hooked.push_back(shard);
+    if (first >= last) order_ok = false;
+    if (simulated[shard].load() != 0) order_ok = false;  // hook precedes simulate
+  };
+  ShardedDayRunner runner{opt};
+  const std::size_t shards = runner.shard_count(64);
+  ASSERT_LE(shards, simulated.size());
+  runner.run(
+      64,
+      [&](std::size_t shard, std::size_t, std::size_t) {
+        simulated[shard].fetch_add(1);
+      },
+      [](std::size_t) {});
+  ASSERT_EQ(hooked.size(), shards);
+  std::sort(hooked.begin(), hooked.end());
+  for (std::size_t s = 0; s < shards; ++s) EXPECT_EQ(hooked[s], s);
+  EXPECT_TRUE(order_ok.load());
+}
+
+TEST(ShardedDayRunner, TaskHookExceptionPoisonsItsShardDeterministically) {
+  // A hook failure is indistinguishable from a simulate failure: run()
+  // rethrows the first poisoned shard in merge order and merges nothing at
+  // or after it.
+  ShardedDayRunner::Options opt = runner_options(4, 1);
+  opt.task_hook = [](std::size_t shard, std::size_t, std::size_t) {
+    if (shard == 2) throw std::domain_error{"hook fault on shard 2"};
+  };
+  ShardedDayRunner runner{opt};
+  ASSERT_GT(runner.shard_count(64), 2u);
+  std::vector<std::size_t> merged;
+  try {
+    runner.run(
+        64, [](std::size_t, std::size_t, std::size_t) {},
+        [&](std::size_t shard) { merged.push_back(shard); });
+    FAIL() << "expected the hook's exception";
+  } catch (const std::domain_error& error) {
+    EXPECT_STREQ(error.what(), "hook fault on shard 2");
+  }
+  for (const std::size_t shard : merged) EXPECT_LT(shard, 2u);
 }
 
 // --- determinism under concurrency ------------------------------------------
