@@ -7,7 +7,7 @@
 // at every thread count — verified here via a stream checksum, so a perf
 // run that breaks determinism fails loudly instead of reporting a number.
 //
-//   $ bench_throughput [--smoke] [--resilience] [--out PATH]
+//   $ bench_throughput [--smoke] [--resilience] [--obs] [--out PATH]
 //
 // --smoke shrinks the world to seconds of runtime (CI keeps the binary from
 // rotting); the JSON schema is identical. Scale knobs: TL_BENCH_UES,
@@ -19,6 +19,14 @@
 // UE-days/sec and the retry overhead each storm level costs, and writes
 // BENCH_resilience.json. The stream checksum must not move across fault
 // rates — a resilience run that changes bytes fails instead of reporting.
+//
+// --obs measures the cost of the observability layer (src/obs): the same
+// world runs with no metrics registry installed vs. with a live registry
+// receiving the full instrumentation, interleaved best-of-N per arm, and
+// writes BENCH_obs.json. Two gates: the record stream must be byte-identical
+// across arms (metrics are observational only), and the metrics-on best run
+// may be at most TL_BENCH_OBS_GATE_PCT (default 2) percent slower than
+// metrics-off. TL_BENCH_OBS_REPS overrides the repetition count.
 
 #include <chrono>
 #include <cstdint>
@@ -31,6 +39,8 @@
 #include "bench_world.hpp"
 #include "core/simulator.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/study_monitor.hpp"
 #include "supervise/supervisor.hpp"
 #include "supervise/task_fault_injector.hpp"
 #include "telemetry/record_log.hpp"
@@ -156,21 +166,26 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   bool resilience = false;
+  bool obs_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--resilience") == 0) {
       resilience = true;
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      obs_mode = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_throughput [--smoke] [--resilience] [--out PATH]\n";
+      std::cerr << "usage: bench_throughput [--smoke] [--resilience] [--obs]"
+                   " [--out PATH]\n";
       return 2;
     }
   }
   if (out_path.empty()) {
-    out_path = resilience ? "BENCH_resilience.json" : "BENCH_throughput.json";
+    out_path = resilience ? "BENCH_resilience.json"
+                          : obs_mode ? "BENCH_obs.json" : "BENCH_throughput.json";
   }
 
   // Fixed mid-size config: big enough that the per-UE-day work dominates
@@ -190,6 +205,125 @@ int main(int argc, char** argv) {
             << " ues=" << cfg.population.count << " days=" << cfg.days
             << " seed=" << cfg.seed << " hw_threads=" << hw << "\n";
   core::Simulator sim{cfg};
+
+  if (obs_mode) {
+    const unsigned threads = smoke ? 2 : std::min(hw, 4u);
+    const int reps =
+        std::max(1, static_cast<int>(bench::env_double("TL_BENCH_OBS_REPS",
+                                                       smoke ? 5 : 5)));
+    const double gate_pct = bench::env_double("TL_BENCH_OBS_GATE_PCT", 2.0);
+
+    // One registry shared by every metrics-on run; the handles the engine
+    // resolves stay valid across arm switches because the registry outlives
+    // them all. Arms interleave with alternating order (off/on, on/off, ...)
+    // so monotone machine drift hits both arms equally, and each arm keeps
+    // its best (min-wall) run — the standard noise filter.
+    obs::MetricsRegistry registry;
+    std::vector<Measurement> off_runs, on_runs;
+    const auto run_off = [&] {
+      off_runs.push_back(
+          timed_run(sim, threads, cfg.days, cfg.seed, cfg.population.count));
+    };
+    const auto run_on = [&] {
+      obs::ScopedGlobalRegistry install{&registry};
+      on_runs.push_back(
+          timed_run(sim, threads, cfg.days, cfg.seed, cfg.population.count));
+    };
+    for (int rep = 0; rep < reps; ++rep) {
+      if (rep % 2 == 0) {
+        run_off();
+        run_on();
+      } else {
+        run_on();
+        run_off();
+      }
+      std::cerr << "[bench_throughput] rep=" << rep
+                << " off_ms=" << off_runs.back().wall_ms
+                << " on_ms=" << on_runs.back().wall_ms << "\n";
+    }
+
+    // Gate 1: metrics are observational only — every run of both arms must
+    // produce the identical record stream.
+    for (const auto* arm : {&off_runs, &on_runs}) {
+      for (const auto& m : *arm) {
+        if (m.records != off_runs.front().records ||
+            m.checksum != off_runs.front().checksum) {
+          std::cerr << "[bench_throughput] FAIL: metrics-"
+                    << (arm == &on_runs ? "on" : "off")
+                    << " stream differs (records " << m.records << " vs "
+                    << off_runs.front().records << ", crc " << std::hex
+                    << m.checksum << " vs " << off_runs.front().checksum
+                    << std::dec << ")\n";
+          return 1;
+        }
+      }
+    }
+
+    const auto best = [](const std::vector<Measurement>& runs) {
+      const Measurement* b = &runs.front();
+      for (const auto& m : runs) {
+        if (m.wall_ms < b->wall_ms) b = &m;
+      }
+      return *b;
+    };
+    const Measurement best_off = best(off_runs);
+    const Measurement best_on = best(on_runs);
+    const double overhead_pct =
+        best_off.wall_ms > 0 ? (best_on.wall_ms / best_off.wall_ms - 1.0) * 100.0
+                             : 0.0;
+
+    // The registry now holds reps full runs' worth of instrumentation;
+    // surface the headline totals through the monitor API the report tools
+    // use, as a smoke test of the whole chain.
+    obs::StudyMonitor monitor{registry};
+    const obs::StudyMonitor::Snapshot snap = monitor.snapshot();
+
+    std::cerr << "[bench_throughput] obs overhead: off=" << best_off.wall_ms
+              << "ms on=" << best_on.wall_ms << "ms (" << overhead_pct
+              << "%, gate " << gate_pct << "%)\n";
+
+    std::ofstream json{out_path, std::ios::trunc};
+    json << "{\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"reps\": " << reps << ",\n"
+         << "  \"gate_pct\": " << gate_pct << ",\n"
+         << "  \"overhead_pct\": " << overhead_pct << ",\n"
+         << "  \"off\": {\"best_wall_ms\": " << best_off.wall_ms
+         << ", \"ue_days_per_sec\": "
+         << static_cast<std::uint64_t>(best_off.ue_days_per_sec) << "},\n"
+         << "  \"on\": {\"best_wall_ms\": " << best_on.wall_ms
+         << ", \"ue_days_per_sec\": "
+         << static_cast<std::uint64_t>(best_on.ue_days_per_sec) << "},\n"
+         << "  \"records\": " << best_off.records << ",\n"
+         << "  \"checksum\": " << best_off.checksum << ",\n"
+         << "  \"metrics\": {\"days\": " << snap.days
+         << ", \"ue_days\": " << snap.ue_days
+         << ", \"records\": " << snap.records << "},\n"
+         << "  \"seed\": " << cfg.seed << "\n"
+         << "}\n";
+    if (!json) {
+      std::cerr << "[bench_throughput] FAIL: could not write " << out_path << "\n";
+      return 1;
+    }
+    std::cerr << "[bench_throughput] wrote " << out_path << "\n";
+
+    // Counter cross-check: the on-arm ran `reps` times over the full
+    // population — the registry's totals must agree exactly with the stream.
+    const std::uint64_t expect_records =
+        best_off.records * static_cast<std::uint64_t>(reps);
+    if (snap.records != expect_records) {
+      std::cerr << "[bench_throughput] FAIL: tl_sim_records_total="
+                << snap.records << ", expected " << expect_records << "\n";
+      return 1;
+    }
+
+    if (overhead_pct > gate_pct) {
+      std::cerr << "[bench_throughput] FAIL: observability overhead "
+                << overhead_pct << "% exceeds the " << gate_pct << "% gate\n";
+      return 1;
+    }
+    return 0;
+  }
 
   if (resilience) {
     const unsigned threads = smoke ? 2 : std::min(hw, 4u);

@@ -4,7 +4,7 @@
 // day. Exercises the extension APIs end to end.
 //
 //   $ network_ops_report [scale] [days] [--threads N] [--supervised]
-//                        [--fault-rate F]
+//                        [--fault-rate F] [--metrics-out PATH]
 //
 // --threads N simulates each day on N workers (0 = all hardware threads);
 // every reported number is identical at any thread count.
@@ -13,6 +13,11 @@
 // --fault-rate F (implies --supervised) additionally storms the shard tasks
 // with seeded throws/EIOs/slowdowns at probability F per attempt — the
 // report's numbers must not move.
+// --metrics-out PATH installs a metrics registry for the run and writes the
+// engine's internal telemetry (shard/day latencies, WAL volume, retry and
+// quarantine pressure) as Prometheus text exposition to PATH, plus an
+// Observability section to stdout. Report numbers are identical with or
+// without it — metrics are observational only.
 
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +28,8 @@
 #include "core/control_plane.hpp"
 #include "core/qos_model.hpp"
 #include "core/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/study_monitor.hpp"
 #include "supervise/supervisor.hpp"
 #include "supervise/task_fault_injector.hpp"
 #include "telemetry/aggregates.hpp"
@@ -35,6 +42,7 @@ int main(int argc, char** argv) {
   core::StudyConfig config = core::StudyConfig::bench_scale();
   bool supervised = false;
   double fault_rate = 0.0;
+  std::string metrics_out;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -44,6 +52,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
       fault_rate = std::atof(argv[++i]);
       supervised = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
@@ -54,6 +64,17 @@ int main(int argc, char** argv) {
   config.population.count = 20'000;
 
   std::cout << "Simulating " << config.days << " day(s) of network operation...\n";
+
+  // Install the registry before anything resolves obs handles; it must
+  // outlive the simulator's runs, hence scope-level lifetime here.
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::ScopedGlobalRegistry> install;
+  std::unique_ptr<obs::StudyMonitor> monitor;
+  if (!metrics_out.empty()) {
+    install = std::make_unique<obs::ScopedGlobalRegistry>(&registry);
+    monitor = std::make_unique<obs::StudyMonitor>(registry);
+  }
+
   core::Simulator sim{config};
 
   supervise::TaskFaultConfig storm;
@@ -164,6 +185,26 @@ int main(int argc, char** argv) {
                    "an unsupervised, fault-free run: degradation is absorbed by\n"
                    "retries and quarantine, never by the telemetry.\n";
     }
+  }
+
+  if (monitor != nullptr) {
+    const obs::StudyMonitor::Snapshot snap = monitor->snapshot();
+    util::print_section(std::cout, "Observability");
+    util::TextTable ob{{"Metric", "Value"}};
+    ob.add_row({"days simulated", std::to_string(snap.days)});
+    ob.add_row({"UE-days", std::to_string(snap.ue_days)});
+    ob.add_row({"records", std::to_string(snap.records)});
+    ob.add_row({"UE-days/sec", util::TextTable::num(snap.ue_days_per_sec, 0)});
+    ob.add_row({"retries", std::to_string(snap.retries)});
+    ob.add_row({"quarantine size", std::to_string(
+                    static_cast<std::uint64_t>(snap.quarantine_size))});
+    if (const auto* h = snap.metrics.find_histogram("tl_sim_day_seconds")) {
+      ob.add_row({"day wall p50", util::TextTable::num(h->quantile(0.5), 3) + " s"});
+      ob.add_row({"day wall p99", util::TextTable::num(h->quantile(0.99), 3) + " s"});
+    }
+    ob.print(std::cout);
+    monitor->write_prometheus_file(metrics_out);
+    std::cout << "\nWrote Prometheus exposition to " << metrics_out << "\n";
   }
   return 0;
 }

@@ -18,9 +18,19 @@ double Ecdf::at(double x) const noexcept {
 
 double Ecdf::inverse(double p) const {
   if (p <= 0.0 || p > 1.0) throw std::invalid_argument{"Ecdf::inverse: p outside (0,1]"};
-  const auto idx = static_cast<std::size_t>(
-      std::ceil(p * static_cast<double>(sorted_.size())) - 1.0);
-  return sorted_[std::min(idx, sorted_.size() - 1)];
+  // Contract: the smallest sample v with F(v) >= p, i.e. the smallest index
+  // i with (i+1)/n >= p — the exact predicate at() evaluates. Deriving i via
+  // ceil(p*n)-1 drifts off by one when p*n rounds across an integer (large
+  // n, boundary p like 1/n or k/n), so start from the float estimate and
+  // correct against the predicate itself.
+  const double n = static_cast<double>(sorted_.size());
+  const auto satisfies = [&](std::size_t i) {
+    return static_cast<double>(i + 1) / n >= p;
+  };
+  std::size_t idx = std::min(static_cast<std::size_t>(p * n), sorted_.size() - 1);
+  while (idx > 0 && satisfies(idx - 1)) --idx;
+  while (!satisfies(idx)) ++idx;  // terminates: satisfies(n-1) is 1.0 >= p
+  return sorted_[idx];
 }
 
 std::vector<Ecdf::CurvePoint> Ecdf::curve(std::size_t points) const {

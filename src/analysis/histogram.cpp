@@ -9,6 +9,17 @@ namespace tl::analysis {
 
 Histogram::Histogram(std::vector<double> edges, bool log_scale)
     : edges_(std::move(edges)), log_scale_(log_scale) {
+  // Fewer than 2 edges used to underflow `edges_.size() - 1` below and
+  // resize bins_ to SIZE_MAX. Validate instead, and insist on strictly
+  // increasing edges (the !(a < b) form also rejects NaN edges).
+  if (edges_.size() < 2) {
+    throw std::invalid_argument{"Histogram: need at least 2 bin edges"};
+  }
+  for (std::size_t i = 0; i + 1 < edges_.size(); ++i) {
+    if (!(edges_[i] < edges_[i + 1])) {
+      throw std::invalid_argument{"Histogram: edges must be strictly increasing"};
+    }
+  }
   bins_.resize(edges_.size() - 1);
   for (std::size_t i = 0; i < bins_.size(); ++i) {
     bins_[i].lo = edges_[i];
@@ -39,6 +50,10 @@ Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
 }
 
 std::size_t Histogram::bin_index(double x) const noexcept {
+  // NaN compares false against every guard below, so it used to slip into
+  // std::upper_bound (every comparison false -> begin()+1) and count as a
+  // bin-0 sample. It belongs in no bin.
+  if (std::isnan(x)) return npos;
   if (x < edges_.front()) return npos;
   if (x > edges_.back()) return npos;
   if (x == edges_.back()) return bins_.size() - 1;
@@ -49,7 +64,9 @@ std::size_t Histogram::bin_index(double x) const noexcept {
 void Histogram::add(double x) noexcept {
   const std::size_t idx = bin_index(x);
   if (idx == npos) {
-    if (x < edges_.front()) {
+    if (std::isnan(x)) {
+      ++nan_;
+    } else if (x < edges_.front()) {
       ++underflow_;
     } else {
       ++overflow_;

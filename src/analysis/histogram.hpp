@@ -17,6 +17,12 @@ struct Bin {
 
 class Histogram {
  public:
+  /// Custom bins from explicit edges (bins+1 of them). Throws
+  /// std::invalid_argument on fewer than 2 edges or edges that are not
+  /// strictly increasing (which also rejects NaN edges) — the obs layer
+  /// builds its latency histograms through this and relies on the check.
+  explicit Histogram(std::vector<double> edges, bool log_scale = false);
+
   /// Uniform bins over [lo, hi).
   static Histogram linear(double lo, double hi, std::size_t bins);
   /// Log-spaced bins over [lo, hi), lo > 0.
@@ -25,7 +31,9 @@ class Histogram {
   void add(double x) noexcept;
   void add_all(std::span<const double> xs) noexcept;
 
-  /// Bin index for x, or npos if outside range.
+  /// Bin index for x, or npos if outside range or NaN. (NaN used to fall
+  /// through every range guard into std::upper_bound — all comparisons
+  /// false — and silently land in bin 0.)
   std::size_t bin_index(double x) const noexcept;
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -33,19 +41,20 @@ class Histogram {
   std::size_t total() const noexcept { return total_; }
   std::size_t underflow() const noexcept { return underflow_; }
   std::size_t overflow() const noexcept { return overflow_; }
+  /// NaN samples seen by add(); excluded from every bin and from total().
+  std::size_t nan() const noexcept { return nan_; }
 
   /// "[1e2, 1e3)"-style label of a bin.
   std::string label(std::size_t bin) const;
 
  private:
-  Histogram(std::vector<double> edges, bool log_scale);
-
-  std::vector<double> edges_;  // bins_.size() + 1 ascending edges
+  std::vector<double> edges_;  // bins_.size() + 1 strictly increasing edges
   std::vector<Bin> bins_;
   bool log_scale_ = false;
   std::size_t total_ = 0;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
 };
 
 /// Groups values of `y` by the bin of the paired `x` (same length); returns

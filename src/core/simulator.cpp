@@ -12,6 +12,7 @@
 #include "exec/sharded_runner.hpp"
 #include "io/file.hpp"
 #include "mobility/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "ran/propagation.hpp"
 #include "supervise/cancellation.hpp"
 #include "util/crc32c.hpp"
@@ -337,8 +338,36 @@ bool Simulator::load_checkpoint(const std::string& path) {
   return true;
 }
 
+void Simulator::resolve_obs() {
+  const std::uint64_t epoch = obs::global_epoch();
+  if (epoch == obs_epoch_) return;
+  obs_epoch_ = epoch;
+  obs::MetricsRegistry* reg = obs::global_registry();
+  if (reg == nullptr) {
+    obs_days_ = obs::Counter{};
+    obs_ue_days_ = obs::Counter{};
+    obs_records_ = obs::Counter{};
+    obs_quarantined_ = obs::Gauge{};
+    obs_day_seconds_ = obs::Histogram{};
+    return;
+  }
+  obs_days_ = reg->counter("tl_sim_days_total", "Study days simulated");
+  obs_ue_days_ = reg->counter("tl_sim_ue_days_total",
+                              "UE-days simulated (quarantined UEs excluded)");
+  obs_records_ = reg->counter("tl_sim_records_total",
+                              "Handover records emitted to the sinks");
+  obs_quarantined_ = reg->gauge("tl_sim_quarantined_ues",
+                                "UEs currently withdrawn from the study");
+  obs_day_seconds_ =
+      reg->histogram("tl_sim_day_seconds",
+                     obs::MetricsRegistry::latency_edges_s(),
+                     "Wall time per simulated study day");
+}
+
 void Simulator::run_day(int day) {
   if (day < 0) throw std::invalid_argument{"Simulator::run_day: negative day"};
+  resolve_obs();
+  obs::ScopedTimer day_span{obs_day_seconds_};
   // The day is transactional: if anything below throws — a sink mid-day, a
   // failed durable commit, an unsupervised shard failure — the simulator
   // state rolls back to the day's start, so a later retry (or a resumed
@@ -363,7 +392,12 @@ void Simulator::run_day(int day) {
     // day's records.
     if (day == next_day_) next_day_ = day + 1;
     for (auto* sink : sinks_) sink->on_day_end(day);
+    obs_days_.inc();
+    obs_ue_days_.inc(population_->size() - quarantined_ues_.size());
+    obs_records_.inc(records_emitted_ - emitted_before);
+    obs_quarantined_.set(static_cast<double>(quarantined_ues_.size()));
   } catch (...) {
+    day_span.cancel();  // aborted days stay out of the latency profile
     // Once the durable log has committed the day, the day happened — a
     // later sink's failure must not rewind state the log already persisted.
     const bool committed =
@@ -398,10 +432,12 @@ void Simulator::run_day_serial(int day) {
 }
 
 void Simulator::run_day_sharded(int day, unsigned threads) {
-  if (runner_ == nullptr || runner_->thread_count() != threads) {
+  if (runner_ == nullptr || runner_->thread_count() != threads ||
+      runner_obs_epoch_ != obs::global_epoch()) {
     exec::ShardedDayRunner::Options opt;
     opt.threads = threads;
     runner_ = std::make_unique<exec::ShardedDayRunner>(opt);
+    runner_obs_epoch_ = obs::global_epoch();
   }
   // One private world-view per shard: procedures book into the shard's own
   // CoreNetwork and records/metrics land in shard buffers, so workers share

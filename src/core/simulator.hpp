@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/metrics.hpp"
 #include "core_network/duration_model.hpp"
 #include "faults/fault_schedule.hpp"
 #include "faults/recovery.hpp"
@@ -200,6 +201,11 @@ class Simulator {
                                    topology::ObservedRat rat_class,
                                    const devices::Ue& ue, int day, int bin,
                                    util::Rng& rng) const;
+  /// Epoch-checked obs handle refresh, called at the top of run_day (a
+  /// single-threaded boundary). Simulators are long-lived — the throughput
+  /// bench installs a registry after the world build — so handles cannot be
+  /// captured at construction.
+  void resolve_obs();
 
   StudyConfig config_;
   std::unique_ptr<geo::Country> country_;
@@ -235,6 +241,16 @@ class Simulator {
   std::vector<devices::UeId> quarantined_ues_;
   std::uint64_t records_emitted_ = 0;
   int next_day_ = 0;
+
+  std::uint64_t obs_epoch_ = UINT64_MAX;
+  /// Epoch the runner_'s construction-captured handles belong to; a registry
+  /// swap forces a runner (and pool) rebuild on the next sharded day.
+  std::uint64_t runner_obs_epoch_ = UINT64_MAX;
+  obs::Counter obs_days_;
+  obs::Counter obs_ue_days_;
+  obs::Counter obs_records_;
+  obs::Gauge obs_quarantined_;
+  obs::Histogram obs_day_seconds_;
 };
 
 }  // namespace tl::core

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <condition_variable>
 #include <exception>
+#include <future>
 #include <mutex>
 #include <vector>
+
+#include "obs/scoped_timer.hpp"
 
 namespace tl::exec {
 
@@ -13,6 +16,18 @@ ShardedDayRunner::ShardedDayRunner() : ShardedDayRunner(Options{}) {}
 ShardedDayRunner::ShardedDayRunner(Options options)
     : options_(options), pool_(options.threads) {
   if (options_.shards_per_thread == 0) options_.shards_per_thread = 1;
+  if (obs::MetricsRegistry* reg = obs::global_registry()) {
+    shards_total_ = reg->counter("tl_exec_shards_simulated_total",
+                                 "Shards simulated by the day runner");
+    shard_sim_seconds_ =
+        reg->histogram("tl_exec_shard_sim_seconds",
+                       obs::MetricsRegistry::latency_edges_s(),
+                       "Worker-side simulate time per shard");
+    shard_merge_seconds_ =
+        reg->histogram("tl_exec_shard_merge_seconds",
+                       obs::MetricsRegistry::latency_edges_s(),
+                       "Caller-side ordered merge time per shard");
+  }
 }
 
 std::size_t ShardedDayRunner::shard_count(std::size_t item_count) const noexcept {
@@ -36,11 +51,22 @@ void ShardedDayRunner::run(std::size_t item_count, const SimulateFn& simulate,
 
   // Every task references the locals above, so run() may not unwind until
   // each submitted task has finished — including on the error paths below.
+  // The futures are waited too (not just the done flags): the pool wraps
+  // each task with its own instrumentation, and the future is set strictly
+  // after those trailing writes, so a caller tearing down the metrics
+  // registry right after run() cannot race them.
   std::size_t submitted = 0;
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
   const auto wait_for_submitted = [&] {
     std::unique_lock<std::mutex> lock{mutex};
     for (std::size_t shard = 0; shard < submitted; ++shard) {
       shard_done.wait(lock, [&] { return states[shard].done; });
+    }
+  };
+  const auto wait_for_futures = [&] {
+    for (auto& future : futures) {
+      if (future.valid()) future.wait();
     }
   };
 
@@ -48,25 +74,33 @@ void ShardedDayRunner::run(std::size_t item_count, const SimulateFn& simulate,
     for (std::size_t shard = 0; shard < shards; ++shard) {
       const std::size_t first = shard * item_count / shards;
       const std::size_t last = (shard + 1) * item_count / shards;
-      pool_.submit([this, &states, &mutex, &shard_done, &simulate, shard, first, last] {
+      futures.push_back(pool_.submit([this, &states, &mutex, &shard_done, &simulate,
+                                      shard, first, last] {
         std::exception_ptr error;
+        obs::ScopedTimer span{shard_sim_seconds_};
         try {
           if (options_.task_hook) options_.task_hook(shard, first, last);
           simulate(shard, first, last);
+          span.stop();
+          shards_total_.inc();
         } catch (...) {
+          span.cancel();  // failed shards must not skew the latency profile
           error = std::current_exception();
         }
-        {
-          std::lock_guard<std::mutex> lock{mutex};
-          states[shard].error = error;
-          states[shard].done = true;
-        }
+        // Notify while holding the lock: the caller destroys `shard_done`
+        // (it lives on run()'s stack) as soon as its predicate turns true,
+        // and a waiter can only re-check the predicate after this unlock —
+        // so an outside-the-lock notify could touch a destroyed cv.
+        std::lock_guard<std::mutex> lock{mutex};
+        states[shard].error = error;
+        states[shard].done = true;
         shard_done.notify_all();
-      });
+      }));
       ++submitted;
     }
   } catch (...) {
     wait_for_submitted();
+    wait_for_futures();
     throw;
   }
 
@@ -84,11 +118,13 @@ void ShardedDayRunner::run(std::size_t item_count, const SimulateFn& simulate,
     }
     if (first_error != nullptr) continue;
     try {
+      obs::ScopedTimer span{shard_merge_seconds_};
       merge(shard);
     } catch (...) {
       first_error = std::current_exception();
     }
   }
+  wait_for_futures();
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 

@@ -72,6 +72,11 @@ class ShardedDayRunner {
  private:
   Options options_;
   ThreadPool pool_;
+
+  // Construction-captured obs handles (see ThreadPool for the rationale).
+  obs::Counter shards_total_;
+  obs::Histogram shard_sim_seconds_;
+  obs::Histogram shard_merge_seconds_;
 };
 
 }  // namespace tl::exec

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/scoped_timer.hpp"
+
 namespace tl::exec {
 
 unsigned ThreadPool::resolve_threads(unsigned requested) noexcept {
@@ -12,6 +14,16 @@ unsigned ThreadPool::resolve_threads(unsigned requested) noexcept {
 }
 
 ThreadPool::ThreadPool(unsigned threads) {
+  if (obs::MetricsRegistry* reg = obs::global_registry()) {
+    tasks_total_ = reg->counter("tl_exec_pool_tasks_total",
+                                "Tasks executed by the worker pool");
+    queue_depth_ = reg->gauge("tl_exec_pool_queue_depth",
+                              "Tasks currently queued, not yet started");
+    task_seconds_ =
+        reg->histogram("tl_exec_pool_task_seconds",
+                       obs::MetricsRegistry::latency_edges_s(),
+                       "Wall time per pool task");
+  }
   const unsigned n = resolve_threads(threads);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
@@ -20,7 +32,18 @@ ThreadPool::ThreadPool(unsigned threads) {
 ThreadPool::~ThreadPool() { shutdown(); }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged{std::move(task)};
+  // Instrumentation lives INSIDE the packaged task: every metric write must
+  // happen-before the task's completion is observable (via the future or any
+  // signal the task itself sends), because callers may tear down the metrics
+  // registry as soon as they have seen all their tasks finish. A trailing
+  // worker-side observe after task() would race that teardown.
+  std::packaged_task<void()> packaged{
+      [counter = tasks_total_, seconds = task_seconds_,
+       task = std::move(task)] {
+        counter.inc();
+        obs::ScopedTimer span{seconds};
+        task();  // a throw still records the span, then parks in the future
+      }};
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock{mutex_};
@@ -29,6 +52,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     }
     queue_.push_back(std::move(packaged));
   }
+  queue_depth_.add(1.0);
   work_available_.notify_one();
   return future;
 }
@@ -60,6 +84,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_.add(-1.0);
     task();  // a throwing task parks its exception in the paired future
   }
 }

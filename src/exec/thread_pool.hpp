@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace tl::exec {
 
 class ThreadPool {
@@ -58,6 +60,15 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   bool shutting_down_ = false;
+
+  // Obs handles, captured at construction from the then-global registry.
+  // Pools are short-lived relative to a registry swap (the simulator
+  // rebuilds its runner — and thus its pool — on registry epoch change),
+  // so a per-pool capture is sufficient and keeps the hot path to one
+  // relaxed load per op. Null-safe no-ops when no registry is installed.
+  obs::Counter tasks_total_;
+  obs::Gauge queue_depth_;
+  obs::Histogram task_seconds_;
 };
 
 }  // namespace tl::exec

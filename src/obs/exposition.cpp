@@ -1,0 +1,121 @@
+#include "obs/exposition.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace tl::obs {
+namespace {
+
+/// Shortest round-trip-safe formatting; Prometheus and JSON both want plain
+/// decimal or scientific, never locale commas or "nan"/"inf" in JSON.
+std::string fmt(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  // Trim to the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof candidate, "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == value) return candidate;
+  }
+  return buf;
+}
+
+void write_help_type(std::ostream& os, const std::string& name,
+                     const std::string& help, const char* type) {
+  if (!help.empty()) os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " " << type << "\n";
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    write_help_type(os, c.name, c.help, "counter");
+    os << c.name << " " << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    write_help_type(os, g.name, g.help, "gauge");
+    os << g.name << " " << fmt(g.value) << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    write_help_type(os, h.name, h.help, "histogram");
+    // Prometheus buckets are cumulative and le-labelled; the sub-first-edge
+    // underflow mass folds into every bucket, overflow only into +Inf.
+    std::uint64_t cumulative = h.underflow;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      os << h.name << "_bucket{le=\"" << fmt(h.edges[i + 1]) << "\"} " << cumulative
+         << "\n";
+    }
+    os << h.name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << h.name << "_sum " << fmt(h.sum) << "\n";
+    os << h.name << "_count " << h.count << "\n";
+  }
+}
+
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    os << (i ? ",\n    " : "\n    ") << "\"";
+    json_escape(os, c.name);
+    os << "\": " << c.value;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    os << (i ? ",\n    " : "\n    ") << "\"";
+    json_escape(os, g.name);
+    os << "\": " << fmt(g.value);
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    os << (i ? ",\n    " : "\n    ") << "\"";
+    json_escape(os, h.name);
+    os << "\": {\"edges\": [";
+    for (std::size_t e = 0; e < h.edges.size(); ++e) {
+      os << (e ? ", " : "") << fmt(h.edges[e]);
+    }
+    os << "], \"counts\": [";
+    for (std::size_t c = 0; c < h.counts.size(); ++c) {
+      os << (c ? ", " : "") << h.counts[c];
+    }
+    os << "], \"underflow\": " << h.underflow << ", \"overflow\": " << h.overflow
+       << ", \"nan\": " << h.nan << ", \"count\": " << h.count
+       << ", \"sum\": " << fmt(h.sum) << "}";
+  }
+  os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  write_prometheus(os, snapshot);
+  return os.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  write_json(os, snapshot);
+  return os.str();
+}
+
+}  // namespace tl::obs

@@ -1,0 +1,52 @@
+#pragma once
+
+// RAII timing spans for the obs layer.
+//
+// ScopedTimer measures one steady_clock span and records it (in seconds)
+// into an obs::Histogram when it leaves scope — the universal shape of the
+// engine's instrumentation points (task latency, shard sim/merge time,
+// per-day wall time, WAL commit time). When the handle is dead (no registry
+// installed, or the registry disabled), construction skips the clock read
+// entirely, so an un-observed hot path pays one branch.
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace tl::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram histogram) noexcept
+      : histogram_(histogram), armed_(histogram.live()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records the span now (idempotent) and returns it in seconds — for
+  /// callers that also want the number, not just the metric. Returns 0.0
+  /// when the timer never armed.
+  double stop() noexcept {
+    if (!armed_) return 0.0;
+    armed_ = false;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    histogram_.observe(seconds);
+    return seconds;
+  }
+
+  /// Abandons the span without recording (error paths that should not
+  /// pollute a latency histogram).
+  void cancel() noexcept { armed_ = false; }
+
+ private:
+  Histogram histogram_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace tl::obs

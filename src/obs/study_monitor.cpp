@@ -1,0 +1,66 @@
+#include "obs/study_monitor.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/exposition.hpp"
+
+namespace tl::obs {
+
+StudyMonitor::StudyMonitor(MetricsRegistry& registry)
+    : registry_(registry),
+      start_(std::chrono::steady_clock::now()),
+      last_scrape_(start_) {}
+
+StudyMonitor::Snapshot StudyMonitor::snapshot() {
+  Snapshot snap;
+  snap.metrics = registry_.scrape();
+  const auto now = std::chrono::steady_clock::now();
+  snap.uptime_s = std::chrono::duration<double>(now - start_).count();
+
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const CounterSnapshot* c = snap.metrics.find_counter(name);
+    return c != nullptr ? c->value : 0;
+  };
+  snap.days = counter("tl_sim_days_total");
+  snap.ue_days = counter("tl_sim_ue_days_total");
+  snap.records = counter("tl_sim_records_total");
+  snap.retries = counter("tl_supervise_retries_total");
+  snap.wal_bytes = counter("tl_wal_bytes_total");
+  if (const GaugeSnapshot* g =
+          snap.metrics.find_gauge("tl_supervise_quarantine_size")) {
+    snap.quarantine_size = g->value;
+  }
+
+  // The first interval spans from construction (last_scrape_ = start_), so a
+  // single end-of-run snapshot still yields whole-run rates.
+  snap.interval_s = std::chrono::duration<double>(now - last_scrape_).count();
+  if (snap.interval_s > 0.0) {
+    snap.ue_days_per_sec =
+        static_cast<double>(snap.ue_days - last_ue_days_) / snap.interval_s;
+    snap.records_per_sec =
+        static_cast<double>(snap.records - last_records_) / snap.interval_s;
+  }
+  last_scrape_ = now;
+  last_ue_days_ = snap.ue_days;
+  last_records_ = snap.records;
+  return snap;
+}
+
+namespace {
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream os{path, std::ios::trunc};
+  os << body;
+  if (!os) throw std::runtime_error{"StudyMonitor: could not write " + path};
+}
+}  // namespace
+
+void StudyMonitor::write_prometheus_file(const std::string& path) {
+  write_file(path, to_prometheus(registry_.scrape()));
+}
+
+void StudyMonitor::write_json_file(const std::string& path) {
+  write_file(path, to_json(registry_.scrape()));
+}
+
+}  // namespace tl::obs

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "exec/sharded_runner.hpp"
+#include "obs/scoped_timer.hpp"
 #include "util/rng.hpp"
 
 namespace tl::supervise {
@@ -147,6 +148,39 @@ std::size_t StudySupervisor::shard_count(std::size_t item_count) const noexcept 
   return runner_->shard_count(item_count);
 }
 
+void StudySupervisor::resolve_obs() {
+  const std::uint64_t epoch = obs::global_epoch();
+  if (epoch == obs_epoch_) return;
+  obs_epoch_ = epoch;
+  obs::MetricsRegistry* reg = obs::global_registry();
+  if (reg == nullptr) {
+    obs_attempts_ = obs::Counter{};
+    obs_retries_ = obs::Counter{};
+    obs_timeouts_ = obs::Counter{};
+    obs_probes_ = obs::Counter{};
+    obs_quarantined_ = obs::Counter{};
+    obs_quarantine_size_ = obs::Gauge{};
+    obs_day_seconds_ = obs::Histogram{};
+    return;
+  }
+  obs_attempts_ = reg->counter("tl_supervise_shard_attempts_total",
+                               "Shard attempts, including first tries");
+  obs_retries_ = reg->counter("tl_supervise_retries_total",
+                              "Shard attempts beyond each shard's first");
+  obs_timeouts_ = reg->counter("tl_supervise_timeouts_total",
+                               "Shard attempts cancelled by the watchdog");
+  obs_probes_ = reg->counter("tl_supervise_bisection_probes_total",
+                             "Bisection probes run to isolate poison items");
+  obs_quarantined_ = reg->counter("tl_supervise_quarantined_total",
+                                  "Items condemned to quarantine");
+  obs_quarantine_size_ = reg->gauge("tl_supervise_quarantine_size",
+                                    "Items in the cumulative quarantine set");
+  obs_day_seconds_ =
+      reg->histogram("tl_supervise_day_seconds",
+                     obs::MetricsRegistry::latency_edges_s(),
+                     "Wall time per supervised day");
+}
+
 std::uint64_t StudySupervisor::backoff_ms(int day, std::size_t shard,
                                           int attempt) const {
   if (attempt <= 1) return 0;
@@ -221,10 +255,14 @@ DayReport StudySupervisor::run_day(int day, std::size_t item_count,
                                    std::span<const std::uint32_t> quarantined,
                                    const SimulateFn& simulate, const ProbeFn& probe,
                                    const MergeFn& merge) {
+  resolve_obs();
+  obs::ScopedTimer day_span{obs_day_seconds_};
+  const std::uint64_t attempts_before = summary_.shard_attempts;
   DayReport report;
   report.day = day;
   if (item_count == 0) {
     ++summary_.days;
+    day_span.cancel();
     return report;
   }
 
@@ -369,6 +407,13 @@ DayReport StudySupervisor::run_day(int day, std::size_t item_count,
             [](const QuarantinedItem& a, const QuarantinedItem& b) {
               return a.item != b.item ? a.item < b.item : a.day < b.day;
             });
+
+  obs_attempts_.inc(summary_.shard_attempts - attempts_before);
+  obs_retries_.inc(report.retries);
+  obs_timeouts_.inc(report.timeouts);
+  obs_probes_.inc(report.bisection_probes);
+  obs_quarantined_.inc(report.quarantined.size());
+  obs_quarantine_size_.set(static_cast<double>(summary_.quarantine.items.size()));
   return report;
 }
 

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "supervise/cancellation.hpp"
 #include "supervise/status.hpp"
 #include "supervise/task_fault_injector.hpp"
@@ -215,10 +216,25 @@ class StudySupervisor {
                       std::vector<std::uint32_t>& skip, DayReport& report,
                       const ProbeFn& probe);
 
+  /// Re-resolves the obs handles when the global registry changed since the
+  /// last run_day. Called at the top of run_day (single-threaded boundary).
+  void resolve_obs();
+
   SupervisorOptions options_;
   std::unique_ptr<exec::ShardedDayRunner> runner_;
   std::unique_ptr<Watchdog> watchdog_;
   SupervisionSummary summary_;
+
+  // Supervisors outlive registry swaps (a bench reuses one across arms), so
+  // handles are epoch-checked rather than construction-captured.
+  std::uint64_t obs_epoch_ = UINT64_MAX;
+  obs::Counter obs_attempts_;
+  obs::Counter obs_retries_;
+  obs::Counter obs_timeouts_;
+  obs::Counter obs_probes_;
+  obs::Counter obs_quarantined_;
+  obs::Gauge obs_quarantine_size_;
+  obs::Histogram obs_day_seconds_;
 };
 
 }  // namespace tl::supervise

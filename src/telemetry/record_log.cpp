@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/scoped_timer.hpp"
 #include "util/crc32c.hpp"
 
 namespace tl::telemetry {
@@ -84,6 +85,40 @@ std::string RecordLog::segment_path(std::uint32_t index) const {
   return options_.directory + "/" + segment_name(index);
 }
 
+void RecordLog::resolve_obs() {
+  const std::uint64_t epoch = obs::global_epoch();
+  if (epoch == obs_epoch_) return;
+  obs_epoch_ = epoch;
+  obs::MetricsRegistry* reg = obs::global_registry();
+  if (reg == nullptr) {
+    obs_bytes_ = obs::Counter{};
+    obs_records_ = obs::Counter{};
+    obs_fsyncs_ = obs::Counter{};
+    obs_segments_ = obs::Counter{};
+    obs_dropped_bytes_ = obs::Counter{};
+    obs_dropped_records_ = obs::Counter{};
+    obs_commit_seconds_ = obs::Histogram{};
+    return;
+  }
+  obs_bytes_ = reg->counter("tl_wal_bytes_total",
+                            "Bytes durably committed to the record log");
+  obs_records_ = reg->counter("tl_wal_records_total",
+                              "Record frames durably committed");
+  obs_fsyncs_ = reg->counter("tl_wal_fsyncs_total", "fsync calls issued");
+  obs_segments_ = reg->counter("tl_wal_segments_total",
+                               "Segment files created (rolls + fresh opens)");
+  obs_dropped_bytes_ =
+      reg->counter("tl_wal_recovery_dropped_bytes_total",
+                   "Uncommitted bytes truncated away during recovery");
+  obs_dropped_records_ =
+      reg->counter("tl_wal_recovery_dropped_records_total",
+                   "Complete record frames dropped during recovery");
+  obs_commit_seconds_ =
+      reg->histogram("tl_wal_commit_seconds",
+                     obs::MetricsRegistry::latency_edges_s(),
+                     "Wall time per durable day commit (write + fsync)");
+}
+
 void RecordLog::write_segment_header(io::File& file, std::uint32_t index) {
   std::vector<std::uint8_t> header;
   header.reserve(kSegmentHeaderSize);
@@ -92,6 +127,8 @@ void RecordLog::write_segment_header(io::File& file, std::uint32_t index) {
   put_u32(header, util::mask_crc32c(util::crc32c(header.data(), header.size())));
   write_fully(file, header, options_.write_chunk_bytes);
   file.sync();
+  obs_segments_.inc();
+  obs_fsyncs_.inc();
 }
 
 void RecordLog::append_frame(std::uint8_t type, std::span<const std::uint8_t> payload) {
@@ -114,6 +151,7 @@ void RecordLog::append(const HandoverRecord& record) {
 
 void RecordLog::commit_day(int day, std::span<const std::uint8_t> app_state) {
   if (!open_) throw std::logic_error{"RecordLog::commit_day: log not open"};
+  resolve_obs();
   if (day <= last_committed_day_) {
     throw std::logic_error{"RecordLog::commit_day: day " + std::to_string(day) +
                            " already committed (last: " +
@@ -132,8 +170,13 @@ void RecordLog::commit_day(int day, std::span<const std::uint8_t> app_state) {
   // exception escapes below, the on-disk state is indeterminate and the
   // caller must re-open (recovery discards whatever partially landed).
   open_ = false;
+  obs::ScopedTimer commit_span{obs_commit_seconds_};
   write_fully(*current_, day_buffer_, options_.write_chunk_bytes);
   current_->sync();  // the day marker reaching disk IS the commit point
+  commit_span.stop();
+  obs_fsyncs_.inc();
+  obs_bytes_.inc(day_buffer_.size());
+  obs_records_.inc(buffered_records_);
 
   segment_size_ += day_buffer_.size();
   committed_records_ += buffered_records_;
@@ -275,6 +318,7 @@ RecordLog::Scan RecordLog::scan(io::FileSystem& fs, const std::string& directory
 }
 
 LogRecoveryReport RecordLog::open() {
+  resolve_obs();
   open_ = false;
   current_.reset();
   day_buffer_.clear();
@@ -324,6 +368,8 @@ LogRecoveryReport RecordLog::open() {
     segment_size_ = kSegmentHeaderSize;
   }
   report.dropped_bytes = bytes_before - bytes_after;
+  obs_dropped_bytes_.inc(report.dropped_bytes);
+  obs_dropped_records_.inc(report.dropped_records);
 
   last_committed_day_ = s.last_day;
   committed_records_ = s.committed_records;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "io/file.hpp"
+#include "obs/metrics.hpp"
 #include "telemetry/sinks.hpp"
 
 namespace tl::telemetry {
@@ -129,6 +130,9 @@ class RecordLog {
   void roll_segment();
   void write_segment_header(io::File& file, std::uint32_t index);
   std::string segment_path(std::uint32_t index) const;
+  /// Epoch-checked obs handle refresh; called at open() and commit_day()
+  /// (both single-threaded boundaries). Logs outlive registry swaps.
+  void resolve_obs();
 
   io::FileSystem& fs_;
   Options options_;
@@ -144,6 +148,15 @@ class RecordLog {
 
   std::vector<std::uint8_t> day_buffer_;  // framed records of the open day
   std::size_t buffered_records_ = 0;
+
+  std::uint64_t obs_epoch_ = UINT64_MAX;
+  obs::Counter obs_bytes_;
+  obs::Counter obs_records_;
+  obs::Counter obs_fsyncs_;
+  obs::Counter obs_segments_;
+  obs::Counter obs_dropped_bytes_;
+  obs::Counter obs_dropped_records_;
+  obs::Histogram obs_commit_seconds_;
 };
 
 /// RecordSink adapter: buffers each simulated day into a RecordLog and

@@ -31,22 +31,29 @@ void ReservoirSample::add(double x) noexcept {
   ++seen_;
   if (sample_.size() < capacity_) {
     sample_.push_back(x);
+    sorted_dirty_ = true;
     return;
   }
   const std::uint64_t j = rng_.below(seen_);
-  if (j < capacity_) sample_[static_cast<std::size_t>(j)] = x;
+  if (j < capacity_) {
+    sample_[static_cast<std::size_t>(j)] = x;
+    sorted_dirty_ = true;
+  }
 }
 
 double ReservoirSample::quantile(double p) const {
   if (sample_.empty()) throw std::logic_error{"ReservoirSample::quantile: empty"};
   if (p < 0.0 || p > 1.0) throw std::invalid_argument{"quantile: p outside [0,1]"};
-  std::vector<double> sorted = sample_;
-  std::sort(sorted.begin(), sorted.end());
-  const double idx = p * static_cast<double>(sorted.size() - 1);
+  if (sorted_dirty_) {
+    sorted_ = sample_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_dirty_ = false;
+  }
+  const double idx = p * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
   const double frac = idx - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
 }  // namespace tl::util

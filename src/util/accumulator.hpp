@@ -64,7 +64,9 @@ class ReservoirSample {
   std::uint64_t seen() const noexcept { return seen_; }
   const std::vector<double>& values() const noexcept { return sample_; }
 
-  /// Quantile over the reservoir (sorts a copy; p in [0,1]).
+  /// Quantile over the reservoir, p in [0,1]. The sorted view is cached and
+  /// only rebuilt after add() dirtied it, so quantile sweeps (every scrape
+  /// of a monitoring readout) sort once instead of once per call.
   double quantile(double p) const;
 
  private:
@@ -72,6 +74,8 @@ class ReservoirSample {
   Rng rng_;
   std::uint64_t seen_ = 0;
   std::vector<double> sample_;
+  mutable std::vector<double> sorted_;  // cache: sample_ sorted
+  mutable bool sorted_dirty_ = true;
 };
 
 }  // namespace tl::util

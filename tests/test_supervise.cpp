@@ -607,6 +607,44 @@ struct SupWorld {
   }
 };
 
+/// Detaches the sink and clears the supervisor even when run() throws.
+/// The sinks live on each helper's stack while the simulator is a shared
+/// static: a failed run that skipped the manual remove_sink() would leave a
+/// dangling pointer for the NEXT test to dereference mid-simulation.
+struct AttachedSink {
+  AttachedSink(Simulator& sim, telemetry::RecordSink& sink) : sim_(sim), sink_(sink) {
+    sim_.add_sink(&sink_);
+  }
+  AttachedSink(Simulator& sim, telemetry::DurableRecordSink& sink)
+      : sim_(sim), sink_(sink) {
+    sim_.attach_durable_log(&sink);
+  }
+  ~AttachedSink() {
+    sim_.remove_sink(&sink_);  // also clears the durable-log wiring
+    sim_.set_supervisor(nullptr);
+  }
+
+ private:
+  Simulator& sim_;
+  telemetry::RecordSink& sink_;
+};
+
+/// Sanitizers stretch wall time (TSan ~20x) without stretching the watchdog:
+/// deadlines that are generous in a plain build fire on legitimate work and
+/// turn timing tests into give-up cascades. Scale them at compile time.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TL_TEST_UNDER_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define TL_TEST_UNDER_TSAN 1
+#endif
+#if defined(TL_TEST_UNDER_TSAN)
+constexpr int kDeadlineScale = 20;
+#else
+constexpr int kDeadlineScale = 1;
+#endif
+
 /// The poison UEs injected by every storm test: spread across the id space,
 /// with an adjacent pair (one shard must condemn two neighbours).
 const std::vector<std::uint32_t> kPoisonUes = {7, 702, 703, 1'399};
@@ -628,9 +666,10 @@ SupCapture run_oracle(const std::vector<std::uint32_t>& withdrawn) {
   w.sim->set_threads(1);
   w.sim->restore(w.day0);
   w.sim->set_quarantined_ues({withdrawn.begin(), withdrawn.end()});
-  w.sim->add_sink(&dataset);
-  w.sim->run();
-  w.sim->remove_sink(&dataset);
+  {
+    AttachedSink attached{*w.sim, dataset};
+    w.sim->run();
+  }
 
   SupCapture capture;
   for (const auto& record : dataset.records()) {
@@ -650,10 +689,10 @@ SupCapture run_supervised(StudySupervisor& sup, unsigned sim_threads = 1) {
   w.sim->set_threads(sim_threads);
   w.sim->restore(w.day0);
   w.sim->set_supervisor(&sup);
-  w.sim->add_sink(&dataset);
-  w.sim->run();
-  w.sim->remove_sink(&dataset);
-  w.sim->set_supervisor(nullptr);
+  {
+    AttachedSink attached{*w.sim, dataset};
+    w.sim->run();
+  }
 
   SupCapture capture;
   for (const auto& record : dataset.records()) {
@@ -734,7 +773,9 @@ TEST(SupervisedSimulator, HangStormWithDeadlinesStaysByteIdentical) {
   SupervisorOptions opt;
   opt.threads = 2;
   opt.shards_per_thread = 4;
-  opt.shard_deadline_ms = 200;
+  // Scaled so legitimate shard work still beats the watchdog under TSan;
+  // the hangs above dwarf it either way, so timeouts keep firing.
+  opt.shard_deadline_ms = 200 * kDeadlineScale;
   opt.backoff_initial_ms = 1;
   opt.backoff_cap_ms = 4;
   opt.injector = &injector;
@@ -762,9 +803,8 @@ TEST(SupervisedSimulator, WalBytesMatchPreQuarantinedSerialRun) {
     w.sim->set_threads(1);
     w.sim->restore(w.day0);
     w.sim->set_quarantined_ues({kPoisonUes.begin(), kPoisonUes.end()});
-    w.sim->attach_durable_log(&sink);
+    AttachedSink attached{*w.sim, sink};
     w.sim->run();
-    w.sim->remove_sink(&sink);
   }
   const std::string ref_bytes = log_bytes(ref_dir.path);
   ASSERT_FALSE(ref_bytes.empty());
@@ -788,10 +828,8 @@ TEST(SupervisedSimulator, WalBytesMatchPreQuarantinedSerialRun) {
     telemetry::DurableRecordSink sink{log};
     w.sim->restore(w.day0);
     w.sim->set_supervisor(&sup);
-    w.sim->attach_durable_log(&sink);
+    AttachedSink attached{*w.sim, sink};
     w.sim->run();
-    w.sim->remove_sink(&sink);
-    w.sim->set_supervisor(nullptr);
   }
   EXPECT_EQ(log_bytes(storm_dir.path), ref_bytes);
 }
