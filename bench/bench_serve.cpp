@@ -1,0 +1,220 @@
+// Steady-state benchmark for the serve-mode ingest path.
+//
+// Simulates a long-running deployment: a writer commits synthetic handover
+// days into the WAL while a WalTailer (checkpoints + retention on) keeps
+// rolling aggregates current. Reports ingest records/sec per day and
+// asserts the tailer's memory stays FLAT: with a bounded window and
+// logarithmic sketches, RSS after the last simulated day may not exceed the
+// post-warmup baseline by more than a small slack, no matter how many days
+// stream past. Writes BENCH_serve.json for cross-PR tracking.
+//
+//   $ bench_serve [--smoke] [--out PATH]
+//
+// --smoke shrinks the stream for CI. Scale knobs: TL_BENCH_SERVE_DAYS,
+// TL_BENCH_SERVE_RECORDS (per day). The RSS assertion is Linux-only
+// (/proc/self/status VmRSS); elsewhere the bench reports without gating.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/file.hpp"
+#include "serve/wal_tailer.hpp"
+#include "telemetry/record_log.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double parsed = std::atof(v);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+/// Deterministic synthetic record, cheap enough that WAL framing and the
+/// tailer dominate the measurement rather than record construction.
+tl::telemetry::HandoverRecord make_record(int day, std::uint32_t i) {
+  tl::telemetry::HandoverRecord r;
+  r.timestamp = static_cast<tl::util::TimestampMs>(day) * tl::util::kMsPerDay +
+                (i % 86'000'000u);
+  r.success = (i % 23) != 0;
+  r.duration_ms = 20.0f + static_cast<float>((i * 37 + day * 11) % 900);
+  r.anon_user_id = 0x5E11ULL + i % 50'000;
+  r.source_sector = i % 2'000;
+  r.target_sector = (i + 7) % 2'000;
+  r.district = 1 + i % 32;
+  r.vendor = static_cast<tl::topology::Vendor>(i % 4);
+  r.target_rat = static_cast<tl::topology::ObservedRat>(i % 3);
+  return r;
+}
+
+/// Resident set size in kB from /proc/self/status; 0 when unavailable.
+std::uint64_t rss_kb() {
+#ifdef __linux__
+  std::ifstream status{"/proc/self/status"};
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<std::uint64_t>(std::atoll(line.c_str() + 6));
+    }
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tl;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serve [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  const int days = static_cast<int>(
+      env_double("TL_BENCH_SERVE_DAYS", smoke ? 6 : 14));
+  const std::uint32_t per_day = static_cast<std::uint32_t>(
+      env_double("TL_BENCH_SERVE_RECORDS", smoke ? 40'000 : 200'000));
+  // Flat-RSS gate: measured after a warmup long enough that the window ring
+  // and sketch levels have reached steady state.
+  const int warmup_days = 3;
+  const std::uint64_t rss_slack_kb = 16 * 1024;
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "tl_bench_serve").string();
+  std::filesystem::remove_all(root);
+  auto& real = io::StdioFileSystem::instance();
+
+  telemetry::RecordLog::Options wal_opt;
+  wal_opt.directory = root;
+  wal_opt.max_segment_bytes = 8ull << 20;
+  telemetry::RecordLog log{real, wal_opt};
+  log.open();
+
+  serve::WalTailer::Options opt;
+  opt.wal_directory = root;
+  opt.checkpoint_path = root + "/serve.ckpt";
+  opt.window_days = 4;
+  opt.sketch_k = 128;
+  opt.checkpoint_every_days = 1;
+  opt.retention = true;
+  serve::WalTailer tailer{real, opt};
+  tailer.open();
+
+  std::cerr << "[bench_serve] days=" << days << " records/day=" << per_day
+            << " window=" << opt.window_days << " sketch_k=" << opt.sketch_k
+            << "\n";
+
+  std::vector<double> ingest_rates;
+  std::uint64_t rss_after_warmup = 0;
+  std::uint64_t retired_total = 0;
+  for (int day = 0; day < days; ++day) {
+    for (std::uint32_t i = 0; i < per_day; ++i) log.append(make_record(day, i));
+    log.commit_day(day, {});
+
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t delivered = 0;
+    while (true) {
+      const serve::WalTailer::PollResult r = tailer.poll();
+      delivered += r.records_delivered;
+      retired_total += r.segments_retired;
+      if (r.state == telemetry::TailState::kClean) break;
+    }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rate = wall_s > 0 ? static_cast<double>(delivered) / wall_s : 0;
+    if (day >= warmup_days) ingest_rates.push_back(rate);
+    if (day == warmup_days - 1) rss_after_warmup = rss_kb();
+    std::cerr << "[bench_serve] day=" << day << " ingest=" << delivered
+              << " records in " << wall_s * 1000 << " ms ("
+              << static_cast<std::uint64_t>(rate) << "/s), rss=" << rss_kb()
+              << " kB, sketch_items="
+              << tailer.aggregates().stored_sketch_items() << "\n";
+  }
+  const std::uint64_t rss_final = rss_kb();
+
+  // Steady-state rate: median of the post-warmup days.
+  std::sort(ingest_rates.begin(), ingest_rates.end());
+  const double steady_rate =
+      ingest_rates.empty() ? 0 : ingest_rates[ingest_rates.size() / 2];
+
+  // Per-key sketch state: the serialized aggregate image over its day keys.
+  std::vector<std::uint8_t> state;
+  tailer.aggregates().serialize(state);
+  const std::size_t state_per_day = state.size() / (opt.window_days + 1);
+
+  const auto report = tailer.report();
+  std::cerr << "[bench_serve] steady-state ingest: "
+            << static_cast<std::uint64_t>(steady_rate) << " records/s\n"
+            << "[bench_serve] window p50/p90/p99 = " << report.p50_ms << "/"
+            << report.p90_ms << "/" << report.p99_ms << " ms (rank error <= "
+            << report.quantile_rank_error << ")\n"
+            << "[bench_serve] aggregate state: " << state.size() << " bytes ("
+            << state_per_day << " per day-key), "
+            << tailer.aggregates().stored_sketch_items() << " sketch items, "
+            << retired_total << " segments retired\n"
+            << "[bench_serve] rss after warmup day " << warmup_days - 1 << ": "
+            << rss_after_warmup << " kB, final: " << rss_final << " kB\n";
+
+  const bool rss_measured = rss_after_warmup > 0 && rss_final > 0;
+  const bool rss_flat =
+      !rss_measured || rss_final <= rss_after_warmup + rss_slack_kb;
+
+  std::ofstream json{out_path, std::ios::trunc};
+  json << "{\n"
+       << "  \"days\": " << days << ",\n"
+       << "  \"records_per_day\": " << per_day << ",\n"
+       << "  \"window_days\": " << opt.window_days << ",\n"
+       << "  \"sketch_k\": " << opt.sketch_k << ",\n"
+       << "  \"steady_records_per_sec\": "
+       << static_cast<std::uint64_t>(steady_rate) << ",\n"
+       << "  \"state_bytes\": " << state.size() << ",\n"
+       << "  \"state_bytes_per_day_key\": " << state_per_day << ",\n"
+       << "  \"sketch_items\": " << tailer.aggregates().stored_sketch_items()
+       << ",\n"
+       << "  \"segments_retired\": " << retired_total << ",\n"
+       << "  \"rss_after_warmup_kb\": " << rss_after_warmup << ",\n"
+       << "  \"rss_final_kb\": " << rss_final << ",\n"
+       << "  \"rss_flat\": " << (rss_flat ? "true" : "false") << "\n"
+       << "}\n";
+  if (!json) {
+    std::cerr << "[bench_serve] FAIL: could not write " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "[bench_serve] wrote " << out_path << "\n";
+  std::filesystem::remove_all(root);
+
+  if (!rss_flat) {
+    std::cerr << "[bench_serve] FAIL: RSS grew " << rss_final - rss_after_warmup
+              << " kB past the post-warmup baseline (slack " << rss_slack_kb
+              << " kB) — serve-mode memory is not flat\n";
+    return 1;
+  }
+  if (tailer.aggregates().days_sealed() !=
+      static_cast<std::uint64_t>(days)) {
+    std::cerr << "[bench_serve] FAIL: tailer sealed "
+              << tailer.aggregates().days_sealed() << " days, expected " << days
+              << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,217 @@
+// Serve drill: run a study through the durable WAL, then stand up the
+// serve-mode tailer over it — rolling-window reports, checkpoints, segment
+// retention — and kill the tailer at seeded I/O points until it converges.
+// The verdict is strict: after every kill/recover schedule the tailer's
+// serialized aggregates must be byte-identical to a batch oracle that read
+// the whole log in one uninterrupted pass, and a cold restart from the
+// checkpoint plus the retained segments must reproduce the same bytes.
+//
+//   $ serve_drill [schedules] [seed]
+//
+// Demonstrates src/serve end to end: RecordLog tail-follow, StreamAggregates
+// with mergeable quantile sketches, WalTailer checkpoint/retention, all on
+// top of a FaultyFileSystem injecting crashes and transient EIOs.
+
+#include <cstdlib>
+#include <filesystem>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_codec.hpp"
+#include "core/simulator.hpp"
+#include "io/faulty_file.hpp"
+#include "io/file.hpp"
+#include "serve/stream_aggregates.hpp"
+#include "serve/wal_tailer.hpp"
+#include "telemetry/record_log.hpp"
+#include "topology/vendor.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void copy_wal(const std::string& from, const std::string& to) {
+  std::filesystem::create_directories(to);
+  auto& fsys = tl::io::StdioFileSystem::instance();
+  for (const auto& name : fsys.list(from, "wal-")) {
+    std::filesystem::copy_file(from + "/" + name, to + "/" + name,
+                               std::filesystem::copy_options::overwrite_existing);
+  }
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tl;
+
+  int schedules = 5;
+  std::uint64_t seed = 20260808;
+  if (argc > 1) schedules = std::atoi(argv[1]);
+  if (argc > 2) seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "tl_serve_drill").string();
+  std::filesystem::remove_all(root);
+  auto& real = io::StdioFileSystem::instance();
+
+  // --- phase 1: a study writes the WAL, day by day --------------------------
+  core::StudyConfig config = core::StudyConfig::test_scale();
+  config.days = 6;
+  config.population.count = 300;
+
+  telemetry::RecordLog::Options wal_opt;
+  wal_opt.directory = root + "/wal";
+  wal_opt.max_segment_bytes = 24 * 1024;
+  wal_opt.write_chunk_bytes = 1024;
+
+  std::cout << "Building country and deployment...\n";
+  core::Simulator sim{config};
+  core::DayCheckpoint day0;
+  day0.seed = config.seed;
+  {
+    telemetry::RecordLog log{real, wal_opt};
+    telemetry::DurableRecordSink sink{log};
+    log.open();
+    sim.restore(day0);
+    sim.attach_durable_log(&sink);
+    sim.run();
+    sim.remove_sink(&sink);
+    std::cout << "Writer: " << log.committed_records() << " records over "
+              << config.days << " days, "
+              << real.list(wal_opt.directory, "wal-").size() << " segments\n";
+  }
+
+  // --- the batch oracle: one uninterrupted pass ------------------------------
+  serve::StreamAggregates::Options agg_opt;
+  agg_opt.window_days = 4;
+  agg_opt.sketch_k = 128;
+  serve::StreamAggregates oracle{agg_opt};
+  telemetry::RecordLog::replay(real, wal_opt.directory, oracle);
+  std::vector<std::uint8_t> oracle_bytes;
+  oracle.serialize(oracle_bytes);
+
+  const auto make_options = [&](const std::string& dir) {
+    serve::WalTailer::Options o;
+    o.wal_directory = dir;
+    o.checkpoint_path = dir + "/serve.ckpt";
+    o.window_days = agg_opt.window_days;
+    o.sketch_k = agg_opt.sketch_k;
+    o.checkpoint_every_days = 1;
+    o.retention = true;
+    o.max_days_per_poll = 2;
+    return o;
+  };
+
+  // --- phase 2: fault-free tailer pass (also sizes the chaos horizon) -------
+  std::uint64_t horizon = 0;
+  {
+    const std::string dir = root + "/dry";
+    copy_wal(wal_opt.directory, dir);
+    io::FaultyFileSystem ffs{real, io::IoFaultPlan{}, 0};
+    serve::WalTailer tailer{ffs, make_options(dir)};
+    tailer.open();
+    while (tailer.poll().state != telemetry::TailState::kClean) {
+    }
+    horizon = ffs.ops();
+    std::vector<std::uint8_t> bytes;
+    tailer.aggregates().serialize(bytes);
+    if (bytes != oracle_bytes) {
+      std::cerr << "FAIL: fault-free tail disagrees with the batch oracle\n";
+      return 1;
+    }
+
+    const auto report = tailer.report();
+    util::print_section(std::cout, "Rolling window report (last " +
+                                       std::to_string(report.days) + " days)");
+    std::cout << "days " << report.first_day << ".." << report.last_day << ": "
+              << report.handovers << " HOs, HOF rate "
+              << fmt(report.hof_rate() * 100) << "%\n"
+              << "signaling time p50/p90/p99: " << fmt(report.p50_ms) << "/"
+              << fmt(report.p90_ms) << "/" << fmt(report.p99_ms)
+              << " ms (rank error <= " << fmt(report.quantile_rank_error)
+              << ", " << report.sketch_count << " samples in sketch)\n";
+    util::TextTable vendors{{"Vendor", "HOs", "HOF %"}};
+    for (std::size_t v = 0; v < report.by_vendor.size(); ++v) {
+      const auto& t = report.by_vendor[v];
+      vendors.add_row({std::string(topology::to_string(
+                           static_cast<topology::Vendor>(v))),
+                       std::to_string(t.handovers), fmt(t.hof_rate() * 100)});
+    }
+    vendors.print(std::cout);
+    std::cout << "tailer state: " << tailer.aggregates().stored_sketch_items()
+              << " sketch items retained, " << horizon << " storage ops\n";
+  }
+
+  // --- phase 3: kill the tailer until it stops mattering --------------------
+  util::TextTable table{{"Schedule", "Kills", "IO aborts", "Attempts",
+                         "Segments retired", "Converged", "Restart"}};
+  int survived = 0;
+  for (int s = 0; s < schedules; ++s) {
+    const std::string dir = root + "/drill_" + std::to_string(s);
+    copy_wal(wal_opt.directory, dir);
+    const serve::WalTailer::Options opt = make_options(dir);
+    util::Rng meta = util::Rng::derive(seed, static_cast<std::uint64_t>(s));
+    int kills = 0, io_aborts = 0, attempts = 0;
+    std::uint64_t retired = 0;
+    bool complete = false;
+    bool converged = false;
+    while (!complete && attempts < 64) {
+      ++attempts;
+      io::IoFaultPlan plan;
+      if (attempts == 1 || !meta.chance(0.4)) {
+        plan = io::IoFaultPlan::chaos(meta(), horizon + 8,
+                                      s % 3 == 0 ? 0.02 : 0.0);
+      }
+      io::FaultyFileSystem ffs{real, plan, meta()};
+      serve::WalTailer tailer{ffs, opt};
+      try {
+        tailer.open();
+        while (true) {
+          const serve::WalTailer::PollResult r = tailer.poll();
+          retired += r.segments_retired;
+          if (r.state == telemetry::TailState::kClean) break;
+        }
+        complete = true;
+        std::vector<std::uint8_t> bytes;
+        tailer.aggregates().serialize(bytes);
+        converged = bytes == oracle_bytes;
+      } catch (const io::SimulatedCrash&) {
+        ++kills;
+      } catch (const io::IoError&) {
+        ++io_aborts;
+      }
+    }
+    // Restart proof: checkpoint + retained segments alone, no tailer memory.
+    bool restart_ok = false;
+    if (complete) {
+      serve::WalTailer tailer{real, opt};
+      tailer.open();
+      const auto r = tailer.poll();
+      std::vector<std::uint8_t> bytes;
+      tailer.aggregates().serialize(bytes);
+      restart_ok = r.state == telemetry::TailState::kClean &&
+                   r.days_delivered == 0 && bytes == oracle_bytes;
+    }
+    survived += (converged && restart_ok) ? 1 : 0;
+    table.add_row({std::to_string(s), std::to_string(kills),
+                   std::to_string(io_aborts), std::to_string(attempts),
+                   std::to_string(retired), converged ? "yes" : "NO",
+                   restart_ok ? "yes" : "NO"});
+  }
+
+  util::print_section(std::cout, "Kill-the-tailer drill");
+  table.print(std::cout);
+  std::cout << "\n" << survived << "/" << schedules
+            << " schedules converged bit-for-bit to the batch oracle\n";
+  std::filesystem::remove_all(root);
+  return survived == schedules ? 0 : 1;
+}

@@ -1,8 +1,8 @@
 #include "obs/study_monitor.hpp"
 
-#include <fstream>
 #include <stdexcept>
 
+#include "io/file.hpp"
 #include "obs/exposition.hpp"
 
 namespace tl::obs {
@@ -48,10 +48,24 @@ StudyMonitor::Snapshot StudyMonitor::snapshot() {
 }
 
 namespace {
+// Atomic publish: scrape files are read by external collectors, which must
+// never observe a half-written dump. Write to a sibling tmp, fsync, rename
+// over the destination; a crash leaves either the old file or the new one.
 void write_file(const std::string& path, const std::string& body) {
-  std::ofstream os{path, std::ios::trunc};
-  os << body;
-  if (!os) throw std::runtime_error{"StudyMonitor: could not write " + path};
+  io::FileSystem& fs = io::StdioFileSystem::instance();
+  const std::string tmp = path + ".tmp";
+  try {
+    auto file = fs.open(tmp, io::OpenMode::kTruncate);
+    if (file->write(body.data(), body.size()) != body.size()) {
+      throw io::IoError{"short write"};
+    }
+    file->sync();
+    file->close();
+    fs.rename(tmp, path);
+  } catch (const io::IoError& error) {
+    throw std::runtime_error{"StudyMonitor: could not write " + path + ": " +
+                             error.what()};
+  }
 }
 }  // namespace
 

@@ -1,0 +1,294 @@
+#include "serve/stream_aggregates.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tl::serve {
+namespace {
+
+// Little-endian byte helpers, matching the sketch's serialization idiom.
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  [[noreturn]] static void corrupt(const std::string& why) {
+    throw std::runtime_error{"StreamAggregates::deserialize: " + why};
+  }
+  void need(std::size_t n) const {
+    if (pos + n > bytes.size()) corrupt("truncated input");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return bytes[pos++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+};
+
+constexpr char kMagic[4] = {'T', 'L', 'S', 'A'};
+constexpr std::uint8_t kVersion = 1;
+
+void put_tally(std::vector<std::uint8_t>& out,
+               const StreamAggregates::Tally& t) {
+  put_u64(out, t.handovers);
+  put_u64(out, t.failures);
+}
+
+StreamAggregates::Tally read_tally(Reader& r) {
+  StreamAggregates::Tally t;
+  t.handovers = r.u64();
+  t.failures = r.u64();
+  if (t.failures > t.handovers) Reader::corrupt("tally failures > handovers");
+  return t;
+}
+
+void put_tally_map(std::vector<std::uint8_t>& out,
+                   const std::map<std::uint32_t, StreamAggregates::Tally>& m) {
+  put_u64(out, m.size());
+  for (const auto& [key, tally] : m) {
+    put_u32(out, key);
+    put_tally(out, tally);
+  }
+}
+
+std::map<std::uint32_t, StreamAggregates::Tally> read_tally_map(Reader& r) {
+  const std::uint64_t size = r.u64();
+  // 20 bytes per entry: a size beyond the remaining bytes is garbage.
+  if (size > (r.bytes.size() - r.pos) / 20) Reader::corrupt("map size");
+  std::map<std::uint32_t, StreamAggregates::Tally> m;
+  std::int64_t previous = -1;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const std::uint32_t key = r.u32();
+    if (static_cast<std::int64_t>(key) <= previous) {
+      Reader::corrupt("map keys not strictly increasing");
+    }
+    previous = key;
+    m.emplace(key, read_tally(r));
+  }
+  return m;
+}
+
+}  // namespace
+
+StreamAggregates::StreamAggregates(Options options)
+    : options_(options), open_(options.sketch_k) {
+  if (options_.window_days == 0) {
+    throw std::invalid_argument{"StreamAggregates: window_days must be >= 1"};
+  }
+}
+
+void StreamAggregates::consume(const telemetry::HandoverRecord& record) {
+  ++total_records_;
+  ++open_.handovers;
+  const bool failed = !record.success;
+  if (failed) {
+    ++total_failures_;
+    ++open_.failures;
+  }
+  const auto vendor = static_cast<std::size_t>(record.vendor);
+  if (vendor < open_.by_vendor.size()) {
+    ++open_.by_vendor[vendor].handovers;
+    if (failed) ++open_.by_vendor[vendor].failures;
+  }
+  const auto target = static_cast<std::size_t>(record.target_rat);
+  if (target < open_.by_target.size()) {
+    ++open_.by_target[target].handovers;
+    if (failed) ++open_.by_target[target].failures;
+  }
+  Tally& district = open_.by_district[record.district];
+  ++district.handovers;
+  if (failed) ++district.failures;
+  Tally& sector = sectors_[record.source_sector];
+  ++sector.handovers;
+  if (failed) ++sector.failures;
+  // Successful-HO signaling time, like DurationAggregator (failure
+  // durations measure the abort path, a different distribution). NaN goes
+  // to the sketch's nan tally.
+  if (record.success) {
+    open_.durations.insert(static_cast<double>(record.duration_ms));
+  }
+}
+
+void StreamAggregates::on_day_end(int day) {
+  if (day <= last_sealed_day_) {
+    throw std::logic_error{"StreamAggregates: days must seal in increasing "
+                           "order (got " +
+                           std::to_string(day) + " after " +
+                           std::to_string(last_sealed_day_) + ")"};
+  }
+  open_.day = day;
+  window_.push_back(std::move(open_));
+  open_ = DayStats(options_.sketch_k);
+  while (window_.size() > options_.window_days) window_.pop_front();
+  ++days_sealed_;
+  last_sealed_day_ = day;
+}
+
+StreamAggregates::WindowReport StreamAggregates::report() const {
+  WindowReport report;
+  if (window_.empty()) return report;
+  report.first_day = window_.front().day;
+  report.last_day = window_.back().day;
+  report.days = window_.size();
+  analysis::QuantileSketch merged(options_.sketch_k);
+  for (const DayStats& day : window_) {
+    report.handovers += day.handovers;
+    report.failures += day.failures;
+    for (std::size_t v = 0; v < day.by_vendor.size(); ++v) {
+      report.by_vendor[v].handovers += day.by_vendor[v].handovers;
+      report.by_vendor[v].failures += day.by_vendor[v].failures;
+    }
+    for (std::size_t t = 0; t < day.by_target.size(); ++t) {
+      report.by_target[t].handovers += day.by_target[t].handovers;
+      report.by_target[t].failures += day.by_target[t].failures;
+    }
+    for (const auto& [district, tally] : day.by_district) {
+      Tally& merged_tally = report.by_district[district];
+      merged_tally.handovers += tally.handovers;
+      merged_tally.failures += tally.failures;
+    }
+    merged.merge(day.durations);
+  }
+  report.sketch_count = merged.count();
+  if (!merged.empty()) {
+    report.p50_ms = merged.quantile(0.50);
+    report.p90_ms = merged.quantile(0.90);
+    report.p99_ms = merged.quantile(0.99);
+    report.quantile_rank_error = merged.quantile_rank_error_bound();
+  }
+  return report;
+}
+
+std::size_t StreamAggregates::stored_sketch_items() const noexcept {
+  std::size_t items = open_.durations.stored_items();
+  for (const DayStats& day : window_) items += day.durations.stored_items();
+  return items;
+}
+
+namespace {
+
+void put_day(std::vector<std::uint8_t>& out,
+             const StreamAggregates::DayStats& day) {
+  put_u32(out, static_cast<std::uint32_t>(day.day));
+  put_u64(out, day.handovers);
+  put_u64(out, day.failures);
+  for (const auto& t : day.by_vendor) put_tally(out, t);
+  for (const auto& t : day.by_target) put_tally(out, t);
+  put_tally_map(out, day.by_district);
+  day.durations.serialize(out);
+}
+
+StreamAggregates::DayStats read_day(Reader& r, std::size_t sketch_k) {
+  StreamAggregates::DayStats day(sketch_k);
+  day.day = static_cast<std::int32_t>(r.u32());
+  day.handovers = r.u64();
+  day.failures = r.u64();
+  if (day.failures > day.handovers) Reader::corrupt("day failures > handovers");
+  for (auto& t : day.by_vendor) t = read_tally(r);
+  for (auto& t : day.by_target) t = read_tally(r);
+  day.by_district = read_tally_map(r);
+  day.durations = analysis::QuantileSketch::deserialize(r.bytes, r.pos);
+  if (day.durations.k() != sketch_k) Reader::corrupt("sketch k mismatch");
+  return day;
+}
+
+}  // namespace
+
+void StreamAggregates::serialize(std::vector<std::uint8_t>& out) const {
+  out.insert(out.end(), kMagic, kMagic + sizeof kMagic);
+  out.push_back(kVersion);
+  put_u32(out, static_cast<std::uint32_t>(options_.window_days));
+  put_u32(out, static_cast<std::uint32_t>(options_.sketch_k));
+  put_u64(out, total_records_);
+  put_u64(out, total_failures_);
+  put_u64(out, days_sealed_);
+  put_u32(out, static_cast<std::uint32_t>(last_sealed_day_));
+  put_tally_map(out, sectors_);
+  put_u32(out, static_cast<std::uint32_t>(window_.size()));
+  for (const DayStats& day : window_) put_day(out, day);
+  put_day(out, open_);
+}
+
+StreamAggregates StreamAggregates::deserialize(
+    std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  Reader r{bytes, offset};
+  r.need(sizeof kMagic + 1);
+  for (char expected : kMagic) {
+    if (r.u8() != static_cast<std::uint8_t>(expected)) {
+      Reader::corrupt("bad magic");
+    }
+  }
+  if (r.u8() != kVersion) Reader::corrupt("unsupported version");
+  Options options;
+  options.window_days = r.u32();
+  options.sketch_k = r.u32();
+  if (options.window_days == 0 || options.window_days > (1u << 20)) {
+    Reader::corrupt("window_days out of range");
+  }
+  StreamAggregates aggs(options);  // validates sketch_k via the open sketch
+  aggs.total_records_ = r.u64();
+  aggs.total_failures_ = r.u64();
+  aggs.days_sealed_ = r.u64();
+  aggs.last_sealed_day_ = static_cast<std::int32_t>(r.u32());
+  if (aggs.total_failures_ > aggs.total_records_) {
+    Reader::corrupt("total failures > total records");
+  }
+  aggs.sectors_ = read_tally_map(r);
+  const std::uint32_t ring = r.u32();
+  if (ring > options.window_days) Reader::corrupt("ring larger than window");
+  int previous_day = -2;
+  for (std::uint32_t i = 0; i < ring; ++i) {
+    DayStats day = read_day(r, options.sketch_k);
+    if (day.day < 0 || day.day <= previous_day) {
+      Reader::corrupt("ring days not strictly increasing");
+    }
+    previous_day = day.day;
+    aggs.window_.push_back(std::move(day));
+  }
+  if (!aggs.window_.empty() &&
+      aggs.window_.back().day != aggs.last_sealed_day_) {
+    Reader::corrupt("last sealed day disagrees with ring");
+  }
+  aggs.open_ = read_day(r, options.sketch_k);
+  if (aggs.open_.day != -1) Reader::corrupt("open day carries a day index");
+  offset = r.pos;
+  return aggs;
+}
+
+StreamAggregates StreamAggregates::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  StreamAggregates aggs = deserialize(bytes, offset);
+  if (offset != bytes.size()) {
+    throw std::runtime_error{
+        "StreamAggregates::deserialize: trailing bytes after state"};
+  }
+  return aggs;
+}
+
+}  // namespace tl::serve

@@ -1,0 +1,148 @@
+#pragma once
+
+// Incremental aggregates for the serve-mode tailer.
+//
+// The batch aggregators (telemetry/aggregates.hpp) assume a fixed study
+// horizon — they allocate [sector x day] lattices up front and answer after
+// the whole stream has passed. A long-running ingest has neither luxury:
+// days keep arriving, and reports cover a *rolling window* (the paper's
+// four weeks) over whatever has landed so far. StreamAggregates is the
+// bounded-memory counterpart:
+//
+//  - per sealed day, exact HO/HOF tallies nationally, per vendor, per
+//    target RAT class, and per district, plus a mergeable QuantileSketch of
+//    successful-HO signaling times (analysis/quantile_sketch.hpp) — the
+//    piece that keeps per-day memory flat where a reservoir would neither
+//    merge nor bound rank error;
+//  - a deque ring of the last `window_days` sealed days (older days retire
+//    as new ones seal, so RSS does not grow with stream length);
+//  - lifetime exact totals and a per-sector HO/HOF map that outlive the
+//    window (bounded by the sector universe, not the stream).
+//
+// report() merges the ring into one WindowReport: exact counters summed,
+// sketches merged, quantiles carrying a certified rank-error bound.
+//
+// State is byte-serializable, deterministically: two instances fed the
+// same day sequence serialize identically, which is the property the chaos
+// harness leans on to prove kill/recover convergence bit-for-bit. The
+// serve checkpoint embeds these bytes next to the WAL cursor.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "analysis/quantile_sketch.hpp"
+#include "telemetry/records.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace tl::serve {
+
+class StreamAggregates : public telemetry::RecordSink {
+ public:
+  struct Options {
+    /// Sealed days retained for rolling reports (the paper's study window).
+    std::size_t window_days = 28;
+    /// QuantileSketch buffer size; rank error ~ levels/(2k).
+    std::size_t sketch_k = 128;
+  };
+
+  struct Tally {
+    std::uint64_t handovers = 0;
+    std::uint64_t failures = 0;
+    double hof_rate() const noexcept {
+      return handovers ? static_cast<double>(failures) /
+                             static_cast<double>(handovers)
+                       : 0.0;
+    }
+  };
+
+  /// One sealed (or in-progress) day of exact tallies plus its sketch.
+  struct DayStats {
+    explicit DayStats(std::size_t sketch_k) : durations(sketch_k) {}
+    int day = -1;  ///< -1 while in progress; set by on_day_end
+    std::uint64_t handovers = 0;
+    std::uint64_t failures = 0;
+    std::array<Tally, 4> by_vendor{};  ///< indexed by topology::Vendor
+    std::array<Tally, 3> by_target{};  ///< indexed by topology::ObservedRat
+    std::map<std::uint32_t, Tally> by_district;
+    analysis::QuantileSketch durations;  ///< successful-HO signaling ms
+  };
+
+  StreamAggregates() : StreamAggregates(Options{}) {}
+  explicit StreamAggregates(Options options);
+
+  /// RecordSink: consume accumulates into the open day; on_day_end seals it
+  /// into the ring (retiring the oldest day past window_days). Days must
+  /// seal in increasing order (std::logic_error otherwise) — the WAL
+  /// delivers them that way.
+  void consume(const telemetry::HandoverRecord& record) override;
+  void on_day_end(int day) override;
+
+  // --- lifetime exacts (survive window retirement) ---
+  std::uint64_t total_records() const noexcept { return total_records_; }
+  std::uint64_t total_failures() const noexcept { return total_failures_; }
+  std::uint64_t days_sealed() const noexcept { return days_sealed_; }
+  int last_sealed_day() const noexcept { return last_sealed_day_; }
+  /// Per-source-sector lifetime tallies (bounded by the sector universe).
+  const std::map<std::uint32_t, Tally>& sectors() const noexcept {
+    return sectors_;
+  }
+
+  // --- the rolling window ---
+  const std::deque<DayStats>& window() const noexcept { return window_; }
+  const Options& options() const noexcept { return options_; }
+
+  /// Merge of the current window: exact counters summed, day sketches
+  /// merged front-to-back (deterministic given the window contents).
+  struct WindowReport {
+    int first_day = -1;
+    int last_day = -1;
+    std::size_t days = 0;
+    std::uint64_t handovers = 0;
+    std::uint64_t failures = 0;
+    std::array<Tally, 4> by_vendor{};
+    std::array<Tally, 3> by_target{};
+    std::map<std::uint32_t, Tally> by_district;
+    /// Signaling-time quantiles (ms) of successful HOs in the window, with
+    /// the certified bound the merged sketch reports.
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double quantile_rank_error = 0.0;
+    std::uint64_t sketch_count = 0;
+    double hof_rate() const noexcept {
+      return handovers ? static_cast<double>(failures) /
+                             static_cast<double>(handovers)
+                       : 0.0;
+    }
+  };
+  WindowReport report() const;
+
+  /// Retained sketch items across the ring — the term that must stay flat
+  /// for the bench's RSS assertion.
+  std::size_t stored_sketch_items() const noexcept;
+
+  /// Deterministic byte image of the full state (options, lifetime, ring,
+  /// open day). Equal states produce equal bytes.
+  void serialize(std::vector<std::uint8_t>& out) const;
+  /// Inverse; validates structure and throws std::runtime_error on any
+  /// malformed input. `offset` advances past the consumed bytes.
+  static StreamAggregates deserialize(std::span<const std::uint8_t> bytes,
+                                      std::size_t& offset);
+  static StreamAggregates deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  Options options_;
+  std::uint64_t total_records_ = 0;
+  std::uint64_t total_failures_ = 0;
+  std::uint64_t days_sealed_ = 0;
+  int last_sealed_day_ = -1;
+  std::map<std::uint32_t, Tally> sectors_;
+  std::deque<DayStats> window_;  ///< sealed days, oldest first
+  DayStats open_;                ///< the day currently accumulating
+};
+
+}  // namespace tl::serve

@@ -1,0 +1,262 @@
+#include "serve/wal_tailer.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32c.hpp"
+
+namespace tl::serve {
+namespace {
+
+constexpr std::uint8_t kCheckpointVersion = 1;
+// magic + version + cursor (4+8+4+8) + payload length + CRC trailer.
+constexpr std::size_t kCheckpointOverhead = 8 + 1 + 24 + 8 + 4;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+WalTailer::WalTailer(io::FileSystem& fs, Options options)
+    : fs_(fs),
+      options_(std::move(options)),
+      aggregates_(StreamAggregates::Options{options_.window_days,
+                                            options_.sketch_k}) {
+  if (options_.wal_directory.empty() || options_.checkpoint_path.empty()) {
+    throw std::invalid_argument{
+        "WalTailer: wal_directory and checkpoint_path are required"};
+  }
+  if (options_.checkpoint_every_days == 0) {
+    throw std::invalid_argument{"WalTailer: checkpoint_every_days must be >= 1"};
+  }
+  if (options_.max_days_per_poll == 0) {
+    throw std::invalid_argument{"WalTailer: max_days_per_poll must be >= 1"};
+  }
+}
+
+void WalTailer::open() {
+  resolve_obs();
+  // A .tmp is a checkpoint attempt that died before its rename: the real
+  // checkpoint (if any) is still intact, the tmp is garbage.
+  const std::string tmp = options_.checkpoint_path + ".tmp";
+  if (fs_.exists(tmp)) fs_.remove(tmp);
+  if (fs_.exists(options_.checkpoint_path)) {
+    load_checkpoint(options_.checkpoint_path);
+  }
+  open_ = true;
+}
+
+void WalTailer::load_checkpoint(const std::string& path) {
+  const std::uint64_t size = fs_.file_size(path);
+  if (size < kCheckpointOverhead) {
+    throw io::IoError{"serve checkpoint truncated: " + path};
+  }
+  std::vector<std::uint8_t> bytes(size);
+  {
+    auto file = fs_.open(path, io::OpenMode::kRead);
+    std::size_t have = 0;
+    while (have < bytes.size()) {
+      const std::size_t n = file->read(bytes.data() + have, bytes.size() - have);
+      if (n == 0) throw io::IoError{"serve checkpoint short read: " + path};
+      have += n;
+    }
+  }
+  const std::size_t body = bytes.size() - 4;
+  const std::uint32_t stored = util::unmask_crc32c(get_u32(bytes.data() + body));
+  if (stored != util::crc32c(bytes.data(), body)) {
+    throw io::IoError{"serve checkpoint CRC mismatch: " + path};
+  }
+  if (std::memcmp(bytes.data(), kCheckpointMagic, sizeof kCheckpointMagic) != 0 ||
+      bytes[8] != kCheckpointVersion) {
+    throw io::IoError{"serve checkpoint bad magic/version: " + path};
+  }
+  telemetry::LogCursor cursor;
+  cursor.segment = get_u32(bytes.data() + 9);
+  cursor.offset = get_u64(bytes.data() + 13);
+  cursor.day = static_cast<std::int32_t>(get_u32(bytes.data() + 21));
+  cursor.records = get_u64(bytes.data() + 25);
+  const std::uint64_t payload_len = get_u64(bytes.data() + 33);
+  if (payload_len != body - (kCheckpointOverhead - 4)) {
+    throw io::IoError{"serve checkpoint payload length mismatch: " + path};
+  }
+  StreamAggregates aggs = [&] {
+    try {
+      return StreamAggregates::deserialize(
+          std::span<const std::uint8_t>(bytes.data() + 41, payload_len));
+    } catch (const std::runtime_error& error) {
+      throw io::IoError{"serve checkpoint aggregate state invalid (" + path +
+                        "): " + error.what()};
+    }
+  }();
+  if (aggs.options().window_days != options_.window_days ||
+      aggs.options().sketch_k != options_.sketch_k) {
+    throw io::IoError{
+        "serve checkpoint was written with different window/sketch options; "
+        "refusing to mix streams (" + path + ")"};
+  }
+  if (cursor.day != aggs.last_sealed_day()) {
+    throw io::IoError{
+        "serve checkpoint cursor and aggregates disagree on the last day: " +
+        path};
+  }
+  cursor_ = cursor;
+  durable_cursor_ = cursor;
+  have_checkpoint_ = true;
+  days_since_checkpoint_ = 0;
+  aggregates_ = std::move(aggs);
+}
+
+void WalTailer::checkpoint() {
+  if (!open_) throw std::logic_error{"WalTailer: open() before checkpoint()"};
+  if (have_checkpoint_ && days_since_checkpoint_ == 0) return;
+  if (!have_checkpoint_ && aggregates_.days_sealed() == 0) return;
+
+  std::vector<std::uint8_t> bytes;
+  bytes.insert(bytes.end(), kCheckpointMagic,
+               kCheckpointMagic + sizeof kCheckpointMagic);
+  bytes.push_back(kCheckpointVersion);
+  put_u32(bytes, cursor_.segment);
+  put_u64(bytes, cursor_.offset);
+  put_u32(bytes, static_cast<std::uint32_t>(cursor_.day));
+  put_u64(bytes, cursor_.records);
+  std::vector<std::uint8_t> payload;
+  aggregates_.serialize(payload);
+  put_u64(bytes, payload.size());
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  put_u32(bytes, util::mask_crc32c(util::crc32c(bytes.data(), bytes.size())));
+
+  // tmp + sync + rename: the rename is the commit point. Any failure or
+  // crash before it leaves the previous checkpoint untouched (open()
+  // sweeps the tmp); after it the new one is complete and CRC-sealed.
+  const std::string tmp = options_.checkpoint_path + ".tmp";
+  {
+    auto file = fs_.open(tmp, io::OpenMode::kTruncate);
+    if (file->write(bytes.data(), bytes.size()) != bytes.size()) {
+      throw io::IoError{"serve checkpoint short write: " + tmp};
+    }
+    file->sync();
+    file->close();
+  }
+  fs_.rename(tmp, options_.checkpoint_path);
+
+  durable_cursor_ = cursor_;
+  have_checkpoint_ = true;
+  days_since_checkpoint_ = 0;
+  obs_checkpoints_.inc();
+  obs_checkpoint_bytes_.inc(bytes.size());
+}
+
+WalTailer::PollResult WalTailer::poll() {
+  if (!open_) throw std::logic_error{"WalTailer: open() before poll()"};
+  resolve_obs();
+  PollResult result;
+  const telemetry::TailReadResult tail = telemetry::RecordLog::follow(
+      fs_, options_.wal_directory, cursor_, aggregates_,
+      options_.max_days_per_poll);
+  result.state = tail.state;
+  result.days_delivered = tail.days_delivered;
+  result.records_delivered = tail.records_delivered;
+  days_since_checkpoint_ += tail.days_delivered;
+
+  if (days_since_checkpoint_ >= options_.checkpoint_every_days) {
+    checkpoint();
+    result.checkpointed = true;
+  }
+  if (options_.retention && have_checkpoint_) {
+    result.segments_retired = retire_segments();
+  }
+
+  obs_polls_.inc();
+  obs_days_.inc(tail.days_delivered);
+  obs_records_.inc(tail.records_delivered);
+  obs_cursor_day_.set(static_cast<double>(cursor_.day));
+  obs_sketch_items_.set(static_cast<double>(aggregates_.stored_sketch_items()));
+  return result;
+}
+
+supervise::RetryReport WalTailer::poll_supervised(
+    const supervise::RetryPolicy& policy, PollResult* result) {
+  return supervise::run_with_retries(
+      policy, "serve poll of " + options_.wal_directory,
+      [&](const supervise::CancelToken& token) {
+        token.throw_if_cancelled();
+        const PollResult r = poll();
+        if (result) *result = r;
+      });
+}
+
+std::uint64_t WalTailer::retire_segments() {
+  // Strictly behind the *durable* cursor: a restart replays from the
+  // checkpoint, so every byte at or after its segment must stay. Oldest
+  // first, so a crash mid-sweep leaves the chain contiguous.
+  if (durable_cursor_.fresh()) return 0;
+  std::uint64_t retired = 0;
+  for (const std::string& name : fs_.list(options_.wal_directory, "wal-")) {
+    std::uint32_t index = 0;
+    if (std::sscanf(name.c_str(), "wal-%9u.tlseg", &index) != 1 ||
+        name != telemetry::RecordLog::segment_name(index)) {
+      continue;  // foreign file under our prefix; leave it alone
+    }
+    if (index >= durable_cursor_.segment) break;  // sorted ascending
+    fs_.remove(options_.wal_directory + "/" + name);
+    ++retired;
+  }
+  obs_segments_retired_.inc(retired);
+  return retired;
+}
+
+void WalTailer::resolve_obs() {
+  const std::uint64_t epoch = obs::global_epoch();
+  if (epoch == obs_epoch_) return;
+  obs_epoch_ = epoch;
+  obs::MetricsRegistry* reg = obs::global_registry();
+  if (reg == nullptr) {
+    obs_polls_ = {};
+    obs_days_ = {};
+    obs_records_ = {};
+    obs_checkpoints_ = {};
+    obs_checkpoint_bytes_ = {};
+    obs_segments_retired_ = {};
+    obs_cursor_day_ = {};
+    obs_sketch_items_ = {};
+    return;
+  }
+  obs_polls_ = reg->counter("tl_serve_polls_total", "tail polls executed");
+  obs_days_ = reg->counter("tl_serve_days_total", "committed days ingested");
+  obs_records_ =
+      reg->counter("tl_serve_records_total", "records ingested from the WAL");
+  obs_checkpoints_ =
+      reg->counter("tl_serve_checkpoints_total", "durable checkpoints written");
+  obs_checkpoint_bytes_ = reg->counter("tl_serve_checkpoint_bytes_total",
+                                       "bytes written to checkpoint files");
+  obs_segments_retired_ = reg->counter("tl_serve_segments_retired_total",
+                                       "WAL segments deleted by retention");
+  obs_cursor_day_ =
+      reg->gauge("tl_serve_cursor_day", "last committed day consumed");
+  obs_sketch_items_ = reg->gauge("tl_serve_sketch_items",
+                                 "retained sketch samples across the window");
+}
+
+}  // namespace tl::serve

@@ -1,0 +1,138 @@
+#pragma once
+
+// The serve-mode consumer: tails the record WAL as days land, keeps
+// StreamAggregates current, and makes its own progress crash-durable.
+//
+// Protocol (the order is the correctness argument):
+//
+//  1. poll() runs RecordLog::follow() from the in-memory cursor, streaming
+//     newly committed days into the aggregates. follow() advances records
+//     and cursor in lockstep per day, so an interruption anywhere leaves
+//     both at a day boundary.
+//  2. Every checkpoint_every_days sealed days, checkpoint() snapshots
+//     (cursor, serialized aggregates) into one file: write to
+//     <checkpoint_path>.tmp, CRC32C trailer over the whole image, sync,
+//     rename over checkpoint_path. The rename is the commit point; a crash
+//     at any earlier step leaves the previous checkpoint intact.
+//  3. Only after a checkpoint is durable may retention delete WAL segments
+//     strictly behind the *durable* cursor — oldest first, so a crash
+//     mid-retention leaves a contiguous chain. The WAL bytes a restart
+//     needs (durable cursor -> tail) are therefore always on disk.
+//
+// Restart = load checkpoint (if any), re-run follow() from the durable
+// cursor: days checkpointed are never re-delivered, days after the
+// checkpoint are re-delivered into the restored aggregates exactly once.
+// The chaos harness (tests/test_serve.cpp) kills this loop at every seeded
+// I/O point and asserts the final serialized aggregates are byte-identical
+// to a batch oracle's.
+//
+// All I/O goes through io::FileSystem, so FaultyFileSystem injects faults
+// underneath; poll_supervised() wraps a poll in the shared retry taxonomy
+// (transient IoError retries with backoff, SimulatedCrash propagates).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/file.hpp"
+#include "obs/metrics.hpp"
+#include "serve/stream_aggregates.hpp"
+#include "supervise/retry.hpp"
+#include "telemetry/record_log.hpp"
+
+namespace tl::serve {
+
+class WalTailer {
+ public:
+  struct Options {
+    std::string wal_directory;
+    std::string checkpoint_path;
+    /// Rolling report window and sketch resolution (StreamAggregates).
+    std::size_t window_days = 28;
+    std::size_t sketch_k = 128;
+    /// Checkpoint after this many newly sealed days (>= 1).
+    std::uint64_t checkpoint_every_days = 1;
+    /// Delete WAL segments strictly behind the durable cursor. Off by
+    /// default: retention is only safe when this tailer is the log's sole
+    /// consumer of history.
+    bool retention = false;
+    /// Days delivered per poll() before reporting kMore, bounding the time
+    /// between cancellation checks in a supervised loop.
+    std::uint64_t max_days_per_poll = 64;
+  };
+
+  /// `fs` is borrowed and must outlive the tailer.
+  WalTailer(io::FileSystem& fs, Options options);
+
+  /// Loads the checkpoint if one exists (its absence means a fresh start).
+  /// Throws io::IoError on a checkpoint that fails validation — that file
+  /// is produced by an atomic rename, so a torn one is real corruption, and
+  /// with retention on, silently starting fresh would lose history.
+  /// Removes a stale .tmp from a crashed checkpoint attempt.
+  void open();
+  bool is_open() const noexcept { return open_; }
+
+  struct PollResult {
+    telemetry::TailState state = telemetry::TailState::kClean;
+    std::uint64_t days_delivered = 0;
+    std::uint64_t records_delivered = 0;
+    bool checkpointed = false;
+    std::uint64_t segments_retired = 0;
+  };
+
+  /// One tail pass: follow + (maybe) checkpoint + (maybe) retention.
+  /// kMore means committed days remain beyond max_days_per_poll — call
+  /// again. Throws io::IoError on unrecoverable log corruption or when any
+  /// step's I/O fails (the next poll retries idempotently).
+  PollResult poll();
+
+  /// poll() under run_with_retries: transient failures back off and retry,
+  /// permanent ones surface in the report, SimulatedCrash propagates. On
+  /// success `result` (if non-null) holds the last attempt's PollResult.
+  supervise::RetryReport poll_supervised(const supervise::RetryPolicy& policy,
+                                         PollResult* result = nullptr);
+
+  /// Forces a checkpoint of the current state (no-op when nothing sealed
+  /// since the last one).
+  void checkpoint();
+
+  const telemetry::LogCursor& cursor() const noexcept { return cursor_; }
+  /// The cursor the on-disk checkpoint holds (what a restart resumes from).
+  const telemetry::LogCursor& durable_cursor() const noexcept {
+    return durable_cursor_;
+  }
+  const StreamAggregates& aggregates() const noexcept { return aggregates_; }
+  StreamAggregates::WindowReport report() const { return aggregates_.report(); }
+  const Options& options() const noexcept { return options_; }
+
+  // --- checkpoint wire format (exposed for tests) ---
+  static constexpr char kCheckpointMagic[8] = {'T', 'L', 'S', 'R',
+                                               'V', 'C', 'P', '1'};
+
+ private:
+  void load_checkpoint(const std::string& path);
+  std::uint64_t retire_segments();
+  /// Epoch-checked obs handle refresh (open() and poll() boundaries).
+  void resolve_obs();
+
+  io::FileSystem& fs_;
+  Options options_;
+  bool open_ = false;
+  telemetry::LogCursor cursor_;
+  telemetry::LogCursor durable_cursor_;
+  bool have_checkpoint_ = false;  ///< durable_cursor_ is backed by a file
+  std::uint64_t days_since_checkpoint_ = 0;
+  StreamAggregates aggregates_;
+
+  std::uint64_t obs_epoch_ = UINT64_MAX;
+  obs::Counter obs_polls_;
+  obs::Counter obs_days_;
+  obs::Counter obs_records_;
+  obs::Counter obs_checkpoints_;
+  obs::Counter obs_checkpoint_bytes_;
+  obs::Counter obs_segments_retired_;
+  obs::Gauge obs_cursor_day_;
+  obs::Gauge obs_sketch_items_;
+};
+
+}  // namespace tl::serve

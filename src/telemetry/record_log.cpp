@@ -60,7 +60,26 @@ struct VectorSink final : RecordSink {
   void consume(const HandoverRecord& record) override { records.push_back(record); }
 };
 
+/// Recovers the segment index from a file name, accepting only names this
+/// module itself would produce (round-trip check).
+bool parse_segment_index(const std::string& name, std::uint32_t& index) {
+  unsigned value = 0;
+  if (std::sscanf(name.c_str(), "wal-%9u.tlseg", &value) != 1) return false;
+  index = static_cast<std::uint32_t>(value);
+  return name == RecordLog::segment_name(index);
+}
+
 }  // namespace
+
+const char* to_string(TailState state) noexcept {
+  switch (state) {
+    case TailState::kClean: return "clean";
+    case TailState::kPending: return "pending";
+    case TailState::kTorn: return "torn";
+    case TailState::kMore: return "more";
+  }
+  return "?";
+}
 
 RecordLog::RecordLog(io::FileSystem& fs, Options options)
     : fs_(fs), options_(std::move(options)) {
@@ -209,9 +228,10 @@ void RecordLog::roll_segment() {
 struct RecordLog::Scan {
   std::vector<std::string> segments;  // listing at scan time, sorted
   std::vector<std::uint64_t> sizes;   // parallel to `segments`
+  std::uint32_t base = 0;             // index of the first listed segment
   bool first_header_valid = false;
   bool any_marker = false;
-  std::size_t marker_seg = 0;            // segment holding the last marker
+  std::size_t marker_seg = 0;            // listing POSITION of the last marker
   std::uint64_t marker_offset = 0;       // offset just past that marker frame
   int last_day = -1;
   std::uint64_t committed_records = 0;   // from the last marker
@@ -223,7 +243,17 @@ RecordLog::Scan RecordLog::scan(io::FileSystem& fs, const std::string& directory
                                 RecordSink* sink) {
   Scan s;
   s.segments = fs.list(directory, "wal-");
+  // Retention may have deleted a committed prefix of the chain: the first
+  // listed name fixes the base index everything else must be contiguous
+  // with. An unparseable first name means nothing in the listing is ours.
+  if (!s.segments.empty() && !parse_segment_index(s.segments[0], s.base)) {
+    s.base = 0;
+  }
   std::uint64_t records_seen = 0;        // record frames since log start
+  // With a pruned chain the records before `base` are gone; the cumulative
+  // count in the first marker is adopted rather than verified. A chain from
+  // index 0 has nothing before it, so its first marker is fully verified.
+  bool have_total = s.base == 0;
   std::uint64_t records_since_marker = 0;
   std::vector<HandoverRecord> pending;   // decoded records of the open day
 
@@ -231,9 +261,10 @@ RecordLog::Scan RecordLog::scan(io::FileSystem& fs, const std::string& directory
   for (std::size_t si = 0; si < s.segments.size() && !torn; ++si) {
     const std::string path = directory + "/" + s.segments[si];
     s.sizes.push_back(fs.file_size(path));
-    // The chain must be contiguous wal-00000, wal-00001, ...; anything else
-    // (a gap, a stray file) ends the valid prefix.
-    if (s.segments[si] != segment_name(static_cast<std::uint32_t>(si))) {
+    const std::uint32_t seg_index = s.base + static_cast<std::uint32_t>(si);
+    // The chain must be contiguous wal-<base>, wal-<base+1>, ...; anything
+    // else (a gap, a stray file) ends the valid prefix.
+    if (s.segments[si] != segment_name(seg_index)) {
       torn = true;
       break;
     }
@@ -243,7 +274,7 @@ RecordLog::Scan RecordLog::scan(io::FileSystem& fs, const std::string& directory
     std::uint8_t header[kSegmentHeaderSize];
     if (file->read(header, sizeof header) != sizeof header ||
         std::memcmp(header, kMagic, sizeof kMagic) != 0 ||
-        get_u32(header + 8) != si ||
+        get_u32(header + 8) != seg_index ||
         util::unmask_crc32c(get_u32(header + 12)) != util::crc32c(header, 12)) {
       torn = true;  // torn/foreign header: this and all later segments drop
       break;
@@ -286,13 +317,20 @@ RecordLog::Scan RecordLog::scan(io::FileSystem& fs, const std::string& directory
         const int day = static_cast<int>(get_u32(buf.data()));
         const std::uint64_t in_day = get_u64(buf.data() + 4);
         const std::uint64_t total = get_u64(buf.data() + 12);
-        if (in_day != records_since_marker || total != records_seen) {
+        if (in_day != records_since_marker ||
+            (have_total && total != records_seen)) {
           // A CRC-valid marker whose counts disagree with the frames on disk
           // means a writer bug or tampering, not a torn tail: fail loudly
           // rather than silently serving a record stream of unknown shape.
           throw io::IoError{"record log corrupt: marker record counts disagree "
                             "with the frames preceding it (" +
                             path + ")"};
+        }
+        if (!have_total) {
+          // First marker of a retention-pruned chain: adopt the cumulative
+          // count (the frames it counts were deleted); verify from here on.
+          records_seen = total;
+          have_total = true;
         }
         s.any_marker = true;
         s.marker_seg = si;
@@ -352,8 +390,8 @@ LogRecoveryReport RecordLog::open() {
   if (s.any_marker || s.first_header_valid) {
     const std::uint64_t keep =
         s.any_marker ? s.marker_offset : static_cast<std::uint64_t>(kSegmentHeaderSize);
-    fs_.truncate(segment_path(static_cast<std::uint32_t>(keep_seg)), keep);
-    segment_index_ = static_cast<std::uint32_t>(keep_seg);
+    fs_.truncate(segment_path(s.base + static_cast<std::uint32_t>(keep_seg)), keep);
+    segment_index_ = s.base + static_cast<std::uint32_t>(keep_seg);
     segment_size_ = keep;
     current_ = fs_.open(segment_path(segment_index_), io::OpenMode::kAppend);
     for (std::size_t i = 0; i < keep_seg; ++i) bytes_after += s.sizes[i];
@@ -392,6 +430,167 @@ std::vector<HandoverRecord> RecordLog::read_all(io::FileSystem& fs,
   VectorSink sink;
   replay(fs, directory, sink);
   return std::move(sink.records);
+}
+
+// --- tail-follow -------------------------------------------------------------
+
+TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& directory,
+                                 LogCursor& cursor, RecordSink& sink,
+                                 std::uint64_t max_days) {
+  TailReadResult result;
+  const std::vector<std::string> names = fs.list(directory, "wal-");
+  if (names.empty()) return result;  // no log yet: caught up by definition
+  std::uint32_t base = 0;
+  if (!parse_segment_index(names[0], base)) {
+    result.state = TailState::kTorn;  // nothing in the listing is ours
+    return result;
+  }
+  if (cursor.fresh()) {
+    cursor.segment = base;  // start wherever retention left the chain
+  } else if (cursor.segment < base) {
+    throw io::IoError{"record log tail: cursor segment " +
+                      segment_name(cursor.segment) +
+                      " was deleted from under the reader (" + directory + ")"};
+  }
+  // Cumulative counts are verifiable once the cursor has consumed a marker;
+  // a fresh cursor on a pruned chain adopts the first marker's total.
+  bool have_total = cursor.day >= 0 || base == 0;
+
+  // Scan position. The durable cursor itself only ever advances past a
+  // consumed day marker (below) — never into a segment with nothing
+  // committed — so a persisted cursor always pins the segment holding the
+  // newest marker it has seen, and retention behind it cannot strand a
+  // writer's recovery without a day high-water mark.
+  std::uint32_t seg = cursor.segment;
+  std::uint64_t pos = cursor.offset;
+
+  while (true) {
+    const std::string path = directory + "/" + segment_name(seg);
+    if (!fs.exists(path)) {
+      if (cursor.fresh()) return result;  // chain raced away; nothing to do
+      throw io::IoError{"record log tail: cursor segment missing: " + path};
+    }
+    const std::uint64_t size = fs.file_size(path);
+    auto file = fs.open(path, io::OpenMode::kRead);
+    if (pos == 0) {
+      // First entry into this segment: validate its header before trusting
+      // any frame in it.
+      if (size < kSegmentHeaderSize) {
+        result.state = TailState::kPending;  // writer mid-creation
+        return result;
+      }
+      std::uint8_t header[kSegmentHeaderSize];
+      if (file->read(header, sizeof header) != sizeof header ||
+          std::memcmp(header, kMagic, sizeof kMagic) != 0 ||
+          get_u32(header + 8) != seg ||
+          util::unmask_crc32c(get_u32(header + 12)) != util::crc32c(header, 12)) {
+        result.state = TailState::kTorn;
+        return result;
+      }
+      pos = kSegmentHeaderSize;
+    } else {
+      if (pos > size) {
+        // A crash rolled back bytes the writer had not fsynced past a point
+        // we read optimistically. The deterministic writer will regenerate
+        // the identical bytes; wait for the tail to regrow.
+        result.state = TailState::kPending;
+        return result;
+      }
+      file->seek(pos);
+    }
+
+    std::uint64_t offset = pos;
+    std::vector<HandoverRecord> pending;  // records of the not-yet-marked day
+    std::vector<std::uint8_t> buf;
+    while (offset < size) {
+      std::uint8_t fh[kFrameHeaderSize];
+      if (offset + kFrameHeaderSize > size ||
+          file->read(fh, sizeof fh) != sizeof fh) {
+        result.state = TailState::kPending;  // header still being written
+        return result;
+      }
+      const std::uint32_t len = get_u32(fh);
+      const std::uint32_t stored_crc = util::unmask_crc32c(get_u32(fh + 4));
+      const std::uint8_t type = fh[8];
+      if (len > kMaxFrameLen) {
+        result.state = TailState::kTorn;  // garbage length can never heal
+        return result;
+      }
+      if (offset + kFrameHeaderSize + len > size) {
+        result.state = TailState::kPending;  // payload still being written
+        return result;
+      }
+      buf.resize(len);
+      if (file->read(buf.data(), len) != len) {
+        result.state = TailState::kPending;
+        return result;
+      }
+      std::uint32_t crc = util::crc32c(&type, 1);
+      crc = util::crc32c(buf.data(), len, crc);
+      if (crc != stored_crc) {
+        // A complete frame with a bad CRC is not an in-flight write — the
+        // writer lays every byte down in order, so this can only be a torn
+        // tail from a crash (or rot). Never deliverable.
+        result.state = TailState::kTorn;
+        return result;
+      }
+      if (type == kRecordFrame && len == kRecordEncodedSize) {
+        pending.push_back(decode_record(buf));
+      } else if (type == kDayMarkerFrame && len >= 24 &&
+                 len == 24 + static_cast<std::uint64_t>(get_u32(buf.data() + 20))) {
+        const int day = static_cast<int>(get_u32(buf.data()));
+        const std::uint64_t in_day = get_u64(buf.data() + 4);
+        const std::uint64_t total = get_u64(buf.data() + 12);
+        if (day <= cursor.day) {
+          throw io::IoError{"record log corrupt: non-monotonic day marker in " +
+                            path};
+        }
+        if (in_day != pending.size() ||
+            (have_total && total != cursor.records + in_day)) {
+          throw io::IoError{"record log corrupt: marker record counts disagree "
+                            "with the frames preceding it (" +
+                            path + ")"};
+        }
+        if (result.days_delivered == max_days) {
+          result.state = TailState::kMore;  // committed data remains; re-poll
+          return result;
+        }
+        // Commit point for the reader: deliver the whole day, then advance
+        // the cursor past the marker — records and cursor move in lockstep,
+        // so an exception anywhere above leaves both at the previous day.
+        for (const HandoverRecord& r : pending) sink.consume(r);
+        sink.on_day_end(day);
+        pending.clear();
+        cursor.day = day;
+        cursor.records = total;
+        cursor.segment = seg;
+        cursor.offset = offset + kFrameHeaderSize + len;
+        have_total = true;
+        ++result.days_delivered;
+        result.records_delivered += in_day;
+        result.last_app_state.assign(buf.begin() + 24, buf.end());
+      } else {
+        result.state = TailState::kTorn;  // foreign frame type / bad marker
+        return result;
+      }
+      offset += kFrameHeaderSize + len;
+    }
+
+    if (!pending.empty()) {
+      // Record frames with no marker at the end of the segment: an in-flight
+      // (or crashed) commit. Days never span segments — rolls are
+      // commit-aligned — so a successor segment here would be structural
+      // corruption, not a pending write.
+      result.state = fs.exists(directory + "/" + segment_name(seg + 1))
+                         ? TailState::kTorn
+                         : TailState::kPending;
+      return result;
+    }
+    const std::string next = directory + "/" + segment_name(seg + 1);
+    if (!fs.exists(next)) return result;  // kClean: caught up with the writer
+    seg += 1;
+    pos = 0;  // validate the new header at the top of the loop
+  }
 }
 
 // --- record codec ------------------------------------------------------------

@@ -20,6 +20,17 @@
 //  - Replay: a reader that streams the committed records back through the
 //    ordinary RecordSink interface, so every existing analysis entry point
 //    consumes a recovered log exactly like a live simulation.
+//  - Tail-follow: an incremental reader (LogCursor + follow()) for a
+//    long-running consumer that polls the log while a writer is still
+//    appending. It delivers whole committed days exactly once, and tells
+//    pending tail bytes (an in-flight commit that may yet complete) apart
+//    from torn ones (provably invalid; only the writer's recovery may
+//    truncate them). The serve-mode WalTailer is built on this.
+//
+// Retention: the chain may start at any index (segments before a durable
+// consumer cursor can be deleted); recovery and replay accept a contiguous
+// chain wal-<base>..wal-<n> and adopt the cumulative record count from the
+// first day marker when base > 0.
 //
 // All I/O goes through io::FileSystem so the chaos harness can inject
 // short writes, EIO, failed fsyncs, and hard crash points underneath.
@@ -47,6 +58,48 @@ struct LogRecoveryReport {
   std::uint64_t dropped_bytes = 0;      // torn/uncommitted bytes truncated away
   std::uint64_t dropped_records = 0;    // complete record frames among them
   std::vector<std::uint8_t> app_state;  // checkpoint embedded in the last marker
+};
+
+/// Position of an incremental reader in the segment chain. A fresh cursor
+/// sits at the chain base with nothing consumed; otherwise the offset sits
+/// just past the newest *committed* day marker delivered — follow() never
+/// rests a cursor inside a segment with nothing committed, so `segment`
+/// always pins the segment holding that marker (and retention strictly
+/// behind it can never strand a writer's recovery without its day
+/// high-water mark). Writer recovery never truncates behind the last
+/// committed marker, so a persisted cursor stays valid across crashes.
+struct LogCursor {
+  std::uint32_t segment = 0;   ///< segment index (as in the file name)
+  std::uint64_t offset = 0;    ///< byte offset within that segment
+  int day = -1;                ///< last day delivered through this cursor
+  std::uint64_t records = 0;   ///< cumulative committed records through `day`
+  /// A cursor that has never touched the log (follow() will position it at
+  /// the chain base, wherever retention left that).
+  bool fresh() const noexcept { return day == -1 && offset == 0; }
+  friend bool operator==(const LogCursor&, const LogCursor&) = default;
+};
+
+/// What the tail looked like when follow() stopped.
+enum class TailState : std::uint8_t {
+  kClean = 0,  ///< cursor is at the committed end; no bytes follow
+  kPending,    ///< well-formed but incomplete bytes follow (a commit may be
+               ///< in flight — or a crashed writer; bytes alone cannot tell,
+               ///< only the writer's recovery may truncate)
+  kTorn,       ///< provably invalid bytes follow (bad CRC on a complete
+               ///< frame, bad length, foreign frame type): they can never
+               ///< become a valid commit; writer recovery will drop them
+  kMore,       ///< stopped at max_days with committed data still unread
+};
+
+const char* to_string(TailState state) noexcept;
+
+struct TailReadResult {
+  TailState state = TailState::kClean;
+  std::uint64_t days_delivered = 0;
+  std::uint64_t records_delivered = 0;
+  /// Checkpoint payload embedded in the newest marker delivered (empty when
+  /// none was, or the writer committed without app state).
+  std::vector<std::uint8_t> last_app_state;
 };
 
 class RecordLog {
@@ -107,6 +160,26 @@ class RecordLog {
   /// Convenience: all committed records, in order.
   static std::vector<HandoverRecord> read_all(io::FileSystem& fs,
                                               const std::string& directory);
+
+  /// Tail-follow: delivers every committed day between `cursor` and the end
+  /// of the log into `sink` (records first, then on_day_end), advancing the
+  /// cursor past each day marker as it is delivered — whole days, exactly
+  /// once, across any number of calls and process restarts (persist the
+  /// cursor to resume). Safe to call while a writer is appending: the day
+  /// buffered past the last marker is reported as kPending, never torn and
+  /// never delivered twice. Delivers at most `max_days` days per call so a
+  /// supervised poll loop keeps bounded latency (kMore = call again).
+  ///
+  /// Throws io::IoError when the chain is corrupt in a way bytes cannot
+  /// explain away (marker counts disagreeing with frames, non-monotonic
+  /// days, the cursor's segment deleted from under it). Note: CRC-valid
+  /// frames are trusted even before the writer's fsync; if the writer can
+  /// lose committed-but-unsynced data it must regenerate the same bytes on
+  /// recovery (ours does, deterministically), or the cursor waits at
+  /// kPending until the tail regrows.
+  static TailReadResult follow(io::FileSystem& fs, const std::string& directory,
+                               LogCursor& cursor, RecordSink& sink,
+                               std::uint64_t max_days = UINT64_MAX);
 
   // --- wire format (exposed for tests and the design doc) ---
   static constexpr char kMagic[8] = {'T', 'L', 'W', 'A', 'L', 'O', 'G', '1'};

@@ -325,6 +325,35 @@ TEST(StudyMonitor, WritesExpositionFiles) {
                std::runtime_error);
 }
 
+TEST(StudyMonitor, ExpositionDumpsPublishAtomically) {
+  // Scrape files are replaced via tmp + fsync + rename: after any number of
+  // rewrites the destination holds exactly one complete dump and no .tmp
+  // sibling survives — an external collector can never read a torn file.
+  obs::MetricsRegistry reg;
+  obs::StudyMonitor monitor{reg};
+  const std::string dir = ::testing::TempDir() + "tl_obs_atomic";
+  fs::create_directories(dir);
+  const std::string path = dir + "/metrics.prom";
+  for (int i = 1; i <= 5; ++i) {
+    reg.counter("tl_sim_records_total").inc(7);
+    monitor.write_prometheus_file(path);
+    EXPECT_FALSE(fs::exists(path + ".tmp")) << i;
+    std::ifstream in{path};
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("tl_sim_records_total " + std::to_string(7 * i)),
+              std::string::npos)
+        << i;
+  }
+  // A failed rewrite (tmp path unopenable) must leave the old dump intact.
+  const auto before = fs::file_size(path);
+  fs::create_directory(path + ".tmp");  // squats the tmp name
+  EXPECT_THROW(monitor.write_prometheus_file(path), std::runtime_error);
+  fs::remove(path + ".tmp");
+  EXPECT_EQ(fs::file_size(path), before);
+  fs::remove_all(dir);
+}
+
 // --- analysis-layer regression fixes ----------------------------------------
 
 TEST(HistogramValidation, RejectsFewerThanTwoEdges) {

@@ -1,0 +1,375 @@
+// QuantileSketch: exactness of the scalar fields, certified rank-error
+// bounds against the exact Ecdf on adversarial inputs, merge algebra
+// (commutativity / associativity within bounds, exact fields exactly),
+// determinism (the property the serve chaos proof rests on), memory
+// bounds, and serialization round-trip + corruption rejection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/ecdf.hpp"
+#include "analysis/quantile_sketch.hpp"
+#include "util/rng.hpp"
+
+namespace tl {
+namespace {
+
+using analysis::Ecdf;
+using analysis::QuantileSketch;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<double> sorted_stream(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+  return v;
+}
+
+std::vector<double> reverse_sorted_stream(std::size_t n) {
+  std::vector<double> v = sorted_stream(n);
+  std::reverse(v.begin(), v.end());
+  return v;
+}
+
+std::vector<double> constant_stream(std::size_t n, double x) {
+  return std::vector<double>(n, x);
+}
+
+/// Pareto-ish heavy tail spanning ~9 decades, the shape HO durations and
+/// failure-cause tail counts actually have.
+std::vector<double> heavy_tailed_stream(std::size_t n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = std::max(rng.uniform(0.0, 1.0), 1e-9);
+    v[i] = 1.0 / std::pow(u, 1.5);
+  }
+  return v;
+}
+
+QuantileSketch sketch_of(const std::vector<double>& xs, std::size_t k = 64) {
+  QuantileSketch s{k};
+  for (double x : xs) s.insert(x);
+  return s;
+}
+
+/// Max |cdf(x) - F_exact(x)| probed at every sample value (the supremum of
+/// the CDF error is attained at sample points).
+double max_cdf_error(const QuantileSketch& s, const std::vector<double>& xs) {
+  std::vector<double> finite;
+  for (double x : xs) {
+    if (!std::isnan(x)) finite.push_back(x);
+  }
+  const Ecdf exact{finite};
+  double worst = 0.0;
+  for (double x : finite) {
+    worst = std::max(worst, std::abs(s.cdf(x) - exact.at(x)));
+  }
+  return worst;
+}
+
+// --- construction and exact fields -------------------------------------------
+
+TEST(QuantileSketch, RejectsInvalidK) {
+  EXPECT_THROW(QuantileSketch{3}, std::invalid_argument);
+  EXPECT_THROW(QuantileSketch{7}, std::invalid_argument);  // odd
+  EXPECT_THROW(QuantileSketch{0}, std::invalid_argument);
+  EXPECT_NO_THROW(QuantileSketch{4});
+}
+
+TEST(QuantileSketch, EmptySketchBehaviour) {
+  QuantileSketch s{16};
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_THROW(s.cdf(0.0), std::logic_error);
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+}
+
+TEST(QuantileSketch, ExactFieldsMatchStream) {
+  const auto xs = heavy_tailed_stream(5000, 7);
+  const QuantileSketch s = sketch_of(xs);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_EQ(s.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(s.max(), *std::max_element(xs.begin(), xs.end()));
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  EXPECT_NEAR(s.sum(), sum, std::abs(sum) * 1e-12);
+}
+
+TEST(QuantileSketch, NanRoutingMatchesHistogramConvention) {
+  QuantileSketch s{16};
+  s.insert(1.0);
+  s.insert(kNan);
+  s.insert(2.0);
+  s.insert(kNan);
+  EXPECT_EQ(s.count(), 2u);     // NaN never enters the sketch
+  EXPECT_EQ(s.nan_count(), 2u); // ... but is tallied, like Histogram
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 2.0);
+  EXPECT_FALSE(std::isnan(s.quantile(0.5)));
+}
+
+// --- certified rank-error bounds on adversarial inputs -----------------------
+
+TEST(QuantileSketch, BoundHoldsOnSortedInput) {
+  const auto xs = sorted_stream(20'000);
+  const QuantileSketch s = sketch_of(xs);
+  EXPECT_LE(max_cdf_error(s, xs), s.rank_error_bound());
+  EXPECT_LT(s.rank_error_bound(), 0.12);  // levels/(2k) stays small
+}
+
+TEST(QuantileSketch, BoundHoldsOnReverseSortedInput) {
+  const auto xs = reverse_sorted_stream(20'000);
+  const QuantileSketch s = sketch_of(xs);
+  EXPECT_LE(max_cdf_error(s, xs), s.rank_error_bound());
+}
+
+TEST(QuantileSketch, BoundHoldsOnConstantInput) {
+  const auto xs = constant_stream(10'000, 42.0);
+  const QuantileSketch s = sketch_of(xs);
+  EXPECT_EQ(s.cdf(42.0), 1.0);
+  EXPECT_EQ(s.cdf(41.9), 0.0);
+  EXPECT_EQ(s.quantile(0.0), 42.0);
+  EXPECT_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(QuantileSketch, BoundHoldsOnHeavyTailedInput) {
+  const auto xs = heavy_tailed_stream(50'000, 99);
+  const QuantileSketch s = sketch_of(xs);
+  EXPECT_LE(max_cdf_error(s, xs), s.rank_error_bound());
+}
+
+TEST(QuantileSketch, BoundHoldsWithNanInterleaved) {
+  auto xs = heavy_tailed_stream(10'000, 3);
+  for (std::size_t i = 0; i < xs.size(); i += 97) xs[i] = kNan;
+  const QuantileSketch s = sketch_of(xs);
+  EXPECT_EQ(s.nan_count(), (xs.size() + 96) / 97);
+  EXPECT_LE(max_cdf_error(s, xs), s.rank_error_bound());
+}
+
+TEST(QuantileSketch, QuantileRankWithinDocumentedBound) {
+  const auto xs = heavy_tailed_stream(30'000, 11);
+  const QuantileSketch s = sketch_of(xs);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double bound = s.quantile_rank_error_bound();
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = s.quantile(q);
+    // True normalized rank interval of v among the samples.
+    const auto lo = std::lower_bound(sorted.begin(), sorted.end(), v);
+    const auto hi = std::upper_bound(sorted.begin(), sorted.end(), v);
+    const double n = static_cast<double>(sorted.size());
+    const double rank_lo = static_cast<double>(lo - sorted.begin()) / n;
+    const double rank_hi = static_cast<double>(hi - sorted.begin()) / n;
+    EXPECT_GE(rank_hi, q - bound) << "q=" << q;
+    EXPECT_LE(rank_lo, q + bound) << "q=" << q;
+  }
+  EXPECT_THROW(s.quantile(-0.01), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.01), std::invalid_argument);
+}
+
+// --- merge algebra -----------------------------------------------------------
+
+TEST(QuantileSketch, MergeRequiresMatchingK) {
+  QuantileSketch a{16};
+  QuantileSketch b{32};
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(QuantileSketch, MergeKeepsExactFieldsExact) {
+  const auto xs = heavy_tailed_stream(7000, 1);
+  const auto ys = heavy_tailed_stream(3000, 2);
+  QuantileSketch a = sketch_of(xs);
+  const QuantileSketch b = sketch_of(ys);
+  a.merge(b);
+  EXPECT_EQ(a.count(), xs.size() + ys.size());
+  auto all = xs;
+  all.insert(all.end(), ys.begin(), ys.end());
+  EXPECT_EQ(a.min(), *std::min_element(all.begin(), all.end()));
+  EXPECT_EQ(a.max(), *std::max_element(all.begin(), all.end()));
+}
+
+TEST(QuantileSketch, MergedBoundCoversMergedStream) {
+  const auto xs = sorted_stream(9000);
+  const auto ys = heavy_tailed_stream(11'000, 5);
+  QuantileSketch a = sketch_of(xs);
+  a.merge(sketch_of(ys));
+  auto all = xs;
+  all.insert(all.end(), ys.begin(), ys.end());
+  EXPECT_LE(max_cdf_error(a, all), a.rank_error_bound());
+}
+
+TEST(QuantileSketch, MergeCommutesWithinBounds) {
+  const auto xs = heavy_tailed_stream(5000, 21);
+  const auto ys = sorted_stream(5000);
+  QuantileSketch ab = sketch_of(xs);
+  ab.merge(sketch_of(ys));
+  QuantileSketch ba = sketch_of(ys);
+  ba.merge(sketch_of(xs));
+  EXPECT_EQ(ab.count(), ba.count());
+  auto all = xs;
+  all.insert(all.end(), ys.begin(), ys.end());
+  // Both orders respect their own certified bound over the same stream.
+  EXPECT_LE(max_cdf_error(ab, all), ab.rank_error_bound());
+  EXPECT_LE(max_cdf_error(ba, all), ba.rank_error_bound());
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double tol =
+        (ab.quantile_rank_error_bound() + ba.quantile_rank_error_bound());
+    // Quantile estimates agree to within the summed rank tolerance mapped
+    // through the empirical inverse — compare via ranks, not values.
+    Ecdf exact{all};
+    EXPECT_NEAR(exact.at(ab.quantile(q)), exact.at(ba.quantile(q)), tol);
+  }
+}
+
+TEST(QuantileSketch, MergeAssociatesWithinBounds) {
+  const auto xs = heavy_tailed_stream(4000, 31);
+  const auto ys = constant_stream(4000, 3.0);
+  const auto zs = reverse_sorted_stream(4000);
+  // (x + y) + z
+  QuantileSketch left = sketch_of(xs);
+  left.merge(sketch_of(ys));
+  left.merge(sketch_of(zs));
+  // x + (y + z)
+  QuantileSketch yz = sketch_of(ys);
+  yz.merge(sketch_of(zs));
+  QuantileSketch right = sketch_of(xs);
+  right.merge(yz);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+  auto all = xs;
+  all.insert(all.end(), ys.begin(), ys.end());
+  all.insert(all.end(), zs.begin(), zs.end());
+  EXPECT_LE(max_cdf_error(left, all), left.rank_error_bound());
+  EXPECT_LE(max_cdf_error(right, all), right.rank_error_bound());
+}
+
+TEST(QuantileSketch, SelfMergeDoublesTheSketch) {
+  const auto xs = heavy_tailed_stream(2000, 8);
+  QuantileSketch s = sketch_of(xs);
+  s.merge(s);
+  EXPECT_EQ(s.count(), 2 * xs.size());
+  EXPECT_LE(max_cdf_error(s, xs), s.rank_error_bound());  // same distribution
+}
+
+// --- determinism (the chaos-proof substrate) ---------------------------------
+
+TEST(QuantileSketch, StreamDeterminism) {
+  const auto xs = heavy_tailed_stream(25'000, 13);
+  const QuantileSketch a = sketch_of(xs);
+  const QuantileSketch b = sketch_of(xs);
+  std::vector<std::uint8_t> ba, bb;
+  a.serialize(ba);
+  b.serialize(bb);
+  EXPECT_EQ(ba, bb);  // byte-identical, not merely equal estimates
+}
+
+TEST(QuantileSketch, SplitStreamRebuildEqualsContinuousStream) {
+  // The chaos recovery path: a sketch restored from bytes and fed the rest
+  // of the stream must be byte-identical to one that saw it all. This holds
+  // because inserts are deterministic in (state, input) — serialize captures
+  // the full state.
+  const auto xs = heavy_tailed_stream(10'000, 17);
+  for (std::size_t split : {0u, 1u, 63u, 64u, 5000u, 9999u}) {
+    QuantileSketch first{64};
+    for (std::size_t i = 0; i < split; ++i) first.insert(xs[i]);
+    std::vector<std::uint8_t> bytes;
+    first.serialize(bytes);
+    QuantileSketch resumed = QuantileSketch::deserialize(bytes);
+    for (std::size_t i = split; i < xs.size(); ++i) resumed.insert(xs[i]);
+    const QuantileSketch continuous = sketch_of(xs);
+    std::vector<std::uint8_t> br, bc;
+    resumed.serialize(br);
+    continuous.serialize(bc);
+    ASSERT_EQ(br, bc) << "split at " << split;
+  }
+}
+
+// --- memory ------------------------------------------------------------------
+
+TEST(QuantileSketch, StoredItemsStayLogarithmic) {
+  QuantileSketch s{64};
+  std::size_t worst = 0;
+  util::Rng rng{23};
+  for (std::size_t i = 0; i < 200'000; ++i) {
+    s.insert(rng.uniform(0.0, 1.0));
+    worst = std::max(worst, s.stored_items());
+  }
+  // k * (levels + 1) with levels ~ log2(N/k): for N=2e5, k=64 that is
+  // 64 * (12 + 1); leave headroom but forbid anything near linear.
+  EXPECT_LE(worst, 64u * 16u);
+  EXPECT_LE(s.levels(), 14u);
+}
+
+// --- serialization -----------------------------------------------------------
+
+TEST(QuantileSketch, SerializeRoundTripsAllStates) {
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 4096u}) {
+    const auto xs = heavy_tailed_stream(n, n + 1);
+    QuantileSketch s = sketch_of(xs);
+    s.insert(kNan);
+    std::vector<std::uint8_t> bytes;
+    s.serialize(bytes);
+    const QuantileSketch back = QuantileSketch::deserialize(bytes);
+    std::vector<std::uint8_t> again;
+    back.serialize(again);
+    ASSERT_EQ(bytes, again) << "n=" << n;
+    ASSERT_EQ(back.count(), s.count());
+    ASSERT_EQ(back.nan_count(), s.nan_count());
+  }
+}
+
+TEST(QuantileSketch, DeserializeRejectsCorruption) {
+  QuantileSketch s = sketch_of(heavy_tailed_stream(1000, 5));
+  std::vector<std::uint8_t> bytes;
+  s.serialize(bytes);
+
+  auto expect_rejected = [](std::vector<std::uint8_t> mutated) {
+    EXPECT_THROW(QuantileSketch::deserialize(mutated), std::runtime_error);
+  };
+  // Truncations at every structural boundary.
+  expect_rejected({});
+  expect_rejected({bytes.begin(), bytes.begin() + 3});
+  expect_rejected({bytes.begin(), bytes.end() - 1});
+  // Bad magic and version.
+  auto bad = bytes;
+  bad[0] ^= 0xFF;
+  expect_rejected(bad);
+  bad = bytes;
+  bad[4] = 0x7F;
+  expect_rejected(bad);
+  // Weighted-count conservation: tamper with the stored count field.
+  bad = bytes;
+  bad[5 + 4] ^= 0x01;  // first byte of count (after magic+version+k)
+  expect_rejected(bad);
+  // Trailing garbage is not silently swallowed by the whole-buffer variant.
+  bad = bytes;
+  bad.push_back(0);
+  expect_rejected(bad);
+}
+
+TEST(QuantileSketch, CurveIsMonotoneAndSpansRange) {
+  const auto xs = heavy_tailed_stream(5000, 41);
+  const QuantileSketch s = sketch_of(xs);
+  const auto curve = s.curve(33);
+  ASSERT_EQ(curve.size(), 33u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].x, curve[i].x);
+    EXPECT_LE(curve[i - 1].f, curve[i].f);
+  }
+  EXPECT_EQ(curve.front().x, s.quantile(0.0));
+  EXPECT_EQ(curve.back().x, s.quantile(1.0));
+}
+
+}  // namespace
+}  // namespace tl

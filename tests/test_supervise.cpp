@@ -30,6 +30,7 @@
 #include "io/faulty_file.hpp"
 #include "io/file.hpp"
 #include "supervise/cancellation.hpp"
+#include "supervise/retry.hpp"
 #include "supervise/status.hpp"
 #include "supervise/supervisor.hpp"
 #include "supervise/task_fault_injector.hpp"
@@ -1013,6 +1014,103 @@ TEST(CheckpointQuarantine, TextCheckpointRoundTripsTheQuarantineSet) {
   ASSERT_TRUE(w.sim->load_checkpoint(path));
   EXPECT_EQ(w.sim->quarantined_ues(), (std::vector<devices::UeId>{2, 30}));
   w.sim->set_quarantined_ues({});
+}
+
+
+// --- run_with_retries: the single-operation slice of the retry ladder -------
+
+supervise::RetryPolicy fast_retry_policy() {
+  supervise::RetryPolicy policy;
+  policy.max_retries = 4;
+  policy.backoff_initial_ms = 0;
+  policy.backoff_cap_ms = 0;
+  return policy;
+}
+
+TEST(RunWithRetries, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  const supervise::RetryReport report = supervise::run_with_retries(
+      fast_retry_policy(), "flaky poll", [&](const supervise::CancelToken&) {
+        if (++calls < 3) throw supervise::TransientError{"blip"};
+      });
+  EXPECT_TRUE(report.ok()) << report.status.to_string();
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(report.retries, 2);
+  EXPECT_EQ(report.timeouts, 0);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RunWithRetries, PermanentFailureDoesNotRetry) {
+  int calls = 0;
+  const supervise::RetryReport report = supervise::run_with_retries(
+      fast_retry_policy(), "broken op", [&](const supervise::CancelToken&) {
+        ++calls;
+        throw supervise::PermanentError{"structurally wrong"};
+      });
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunWithRetries, ExhaustionReportsAborted) {
+  supervise::RetryPolicy policy = fast_retry_policy();
+  policy.max_retries = 2;
+  int calls = 0;
+  const supervise::RetryReport report = supervise::run_with_retries(
+      policy, "always down", [&](const supervise::CancelToken&) {
+        ++calls;
+        throw supervise::TransientError{"still down"};
+      });
+  EXPECT_EQ(report.status.code(), StatusCode::kAborted);
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_NE(report.status.message().find("retries exhausted"),
+            std::string::npos);
+}
+
+TEST(RunWithRetries, DeadlineWatchdogCancelsTheToken) {
+  supervise::RetryPolicy policy = fast_retry_policy();
+  policy.max_retries = 1;
+  policy.attempt_deadline_ms = 20;
+  const supervise::RetryReport report = supervise::run_with_retries(
+      policy, "stuck op", [&](const supervise::CancelToken& token) {
+        // Cooperative loop: spins until the watchdog cancels it.
+        while (true) {
+          token.throw_if_cancelled();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.timeouts, 2);
+  EXPECT_EQ(report.status.code(), StatusCode::kAborted);
+}
+
+TEST(RunWithRetries, SimulatedCrashPropagatesUncounted) {
+  EXPECT_THROW(supervise::run_with_retries(
+                   fast_retry_policy(), "dying op",
+                   [&](const supervise::CancelToken&) {
+                     throw io::SimulatedCrash{};
+                   }),
+               io::SimulatedCrash);
+}
+
+TEST(RunWithRetries, BackoffScheduleIsDeterministicAndCapped) {
+  supervise::RetryPolicy policy;
+  policy.backoff_initial_ms = 8;
+  policy.backoff_cap_ms = 50;
+  policy.backoff_multiplier = 2.0;
+  // The first attempt never sleeps.
+  EXPECT_EQ(supervise::retry_backoff_ms(policy, 1), 0u);
+  for (int attempt = 2; attempt <= 8; ++attempt) {
+    const std::uint64_t ms = supervise::retry_backoff_ms(policy, attempt);
+    // Jitter scales the capped exponential by [0.5, 1.5).
+    EXPECT_LE(ms, policy.backoff_cap_ms * 3 / 2) << attempt;
+    EXPECT_EQ(ms, supervise::retry_backoff_ms(policy, attempt)) << attempt;
+  }
+  EXPECT_GE(supervise::retry_backoff_ms(policy, 2),
+            policy.backoff_initial_ms / 2);
 }
 
 }  // namespace
