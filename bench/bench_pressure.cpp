@@ -1,0 +1,293 @@
+// Overload benchmark for the resource governor.
+//
+// Streams the same synthetic WAL through two serve-mode arms:
+//
+//   ungoverned  no MemoryBudget installed — the baseline footprint and
+//               ingest rate, and the reference tallies;
+//   governed    a MemoryBudget whose pressure plan clamps the budget far
+//               below the ungoverned steady state mid-run, forcing the
+//               degradation ladder (sketch-only, then sampled).
+//
+// Gates (exit 1 on violation):
+//   - zero allocation failures in the governed arm;
+//   - the clamp produced explicit degradation events (never silent);
+//   - shedding worked: the governed arm's accounted aggregate bytes end
+//     below the unclamped steady state;
+//   - national tallies identical across arms (detail shed, data kept);
+//   - RSS stays flat after warmup in BOTH arms (slack below).
+//
+// Writes BENCH_pressure.json for cross-PR tracking.
+//
+//   $ bench_pressure [--smoke] [--out PATH]
+//
+// Scale knobs: TL_BENCH_PRESSURE_DAYS, TL_BENCH_PRESSURE_RECORDS (per day).
+// The RSS gate is Linux-only (/proc/self/status VmRSS); elsewhere the bench
+// reports without gating.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "govern/governor.hpp"
+#include "io/file.hpp"
+#include "serve/wal_tailer.hpp"
+#include "telemetry/record_log.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double parsed = std::atof(v);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+/// Deterministic synthetic record with enough sector/district cardinality
+/// that the maps the ladder sheds are a real fraction of the footprint.
+tl::telemetry::HandoverRecord make_record(int day, std::uint32_t i) {
+  tl::telemetry::HandoverRecord r;
+  r.timestamp = static_cast<tl::util::TimestampMs>(day) * tl::util::kMsPerDay +
+                (i % 86'000'000u);
+  r.success = (i % 23) != 0;
+  r.duration_ms = 20.0f + static_cast<float>((i * 37 + day * 11) % 900);
+  r.anon_user_id = 0x9035ULL + i;
+  r.source_sector = (i * 131 + day) % 30'000;
+  r.target_sector = (i + 7) % 2'000;
+  r.district = 1 + (i * 17) % 4'000;
+  r.vendor = static_cast<tl::topology::Vendor>(i % 4);
+  r.target_rat = static_cast<tl::topology::ObservedRat>(i % 3);
+  return r;
+}
+
+std::uint64_t rss_kb() {
+#ifdef __linux__
+  std::ifstream status{"/proc/self/status"};
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<std::uint64_t>(std::atoll(line.c_str() + 6));
+    }
+  }
+#endif
+  return 0;
+}
+
+struct ArmResult {
+  double steady_rate = 0;
+  std::uint64_t rss_after_warmup = 0;
+  std::uint64_t rss_final = 0;
+  std::uint64_t total_records = 0;
+  std::uint64_t total_failures = 0;
+  std::uint64_t approximate_bytes = 0;
+  std::uint64_t peak_accounted = 0;
+  std::uint64_t allocation_failures = 0;
+  std::size_t degradation_events = 0;
+  std::size_t state_bytes = 0;
+  const char* final_level = "exact";
+};
+
+/// One full arm: writes the stream day by day, tails it, measures.
+ArmResult run_arm(const std::string& root, int days, std::uint32_t per_day,
+                  int warmup_days, tl::govern::MemoryBudget* governor) {
+  using namespace tl;
+  std::filesystem::remove_all(root);
+  auto& real = io::StdioFileSystem::instance();
+  govern::ScopedGlobalGovernor install{governor};
+
+  telemetry::RecordLog::Options wal_opt;
+  wal_opt.directory = root;
+  wal_opt.max_segment_bytes = 8ull << 20;
+  telemetry::RecordLog log{real, wal_opt};
+  log.open();
+
+  serve::WalTailer::Options opt;
+  opt.wal_directory = root;
+  opt.checkpoint_path = root + "/serve.ckpt";
+  opt.window_days = 4;
+  opt.sketch_k = 128;
+  opt.sample_modulus = 8;
+  opt.checkpoint_every_days = 1;
+  opt.retention = true;
+  serve::WalTailer tailer{real, opt};
+  tailer.open();
+
+  ArmResult result;
+  std::vector<double> rates;
+  for (int day = 0; day < days; ++day) {
+    for (std::uint32_t i = 0; i < per_day; ++i) log.append(make_record(day, i));
+    log.commit_day(day, {});
+
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t delivered = 0;
+    while (true) {
+      const serve::WalTailer::PollResult r = tailer.poll();
+      delivered += r.records_delivered;
+      if (r.state == telemetry::TailState::kClean) break;
+    }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (day >= warmup_days && wall_s > 0) {
+      rates.push_back(static_cast<double>(delivered) / wall_s);
+    }
+    if (day == warmup_days - 1) result.rss_after_warmup = rss_kb();
+  }
+  std::sort(rates.begin(), rates.end());
+  result.steady_rate = rates.empty() ? 0 : rates[rates.size() / 2];
+  result.rss_final = rss_kb();
+  result.total_records = tailer.aggregates().total_records();
+  result.total_failures = tailer.aggregates().total_failures();
+  result.approximate_bytes = tailer.aggregates().approximate_bytes();
+  result.degradation_events = tailer.aggregates().degradation_events().size();
+  result.final_level = serve::to_string(tailer.aggregates().level());
+  if (governor != nullptr) {
+    result.peak_accounted = governor->peak_bytes();
+    result.allocation_failures = governor->allocation_failures();
+  }
+  std::vector<std::uint8_t> state;
+  tailer.aggregates().serialize(state);
+  result.state_bytes = state.size();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tl;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_pressure.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_pressure [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  const int days = static_cast<int>(
+      env_double("TL_BENCH_PRESSURE_DAYS", smoke ? 8 : 14));
+  const std::uint32_t per_day = static_cast<std::uint32_t>(
+      env_double("TL_BENCH_PRESSURE_RECORDS", smoke ? 30'000 : 150'000));
+  const int warmup_days = 3;
+  const std::uint64_t rss_slack_kb = 16 * 1024;
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "tl_bench_pressure").string();
+
+  std::cerr << "[bench_pressure] days=" << days << " records/day=" << per_day
+            << "\n[bench_pressure] arm 1/2: ungoverned baseline...\n";
+  const ArmResult baseline =
+      run_arm(root + "/ungoverned", days, per_day, warmup_days, nullptr);
+
+  // The governed arm: base budget comfortably above the observed steady
+  // state, clamped to a third of it after warmup — deep enough past the
+  // critical threshold that the ladder must reach sampling.
+  const std::uint64_t steady = baseline.approximate_bytes;
+  govern::MemoryBudget::Options gov_opt;
+  gov_opt.budget_bytes = steady * 2;
+  govern::MemoryBudget governor{gov_opt};
+  govern::PressurePlan plan;
+  plan.add(static_cast<std::uint64_t>(warmup_days), steady / 3);
+  governor.set_plan(plan);
+
+  std::cerr << "[bench_pressure] steady aggregate footprint: " << steady
+            << " bytes\n[bench_pressure] arm 2/2: governed, budget clamped to "
+            << steady / 3 << " bytes at day " << warmup_days << "...\n";
+  const ArmResult governed =
+      run_arm(root + "/governed", days, per_day, warmup_days, &governor);
+
+  const double overhead =
+      baseline.steady_rate > 0
+          ? 1.0 - governed.steady_rate / baseline.steady_rate
+          : 0.0;
+  std::cerr << "[bench_pressure] ingest: ungoverned "
+            << static_cast<std::uint64_t>(baseline.steady_rate)
+            << "/s, governed "
+            << static_cast<std::uint64_t>(governed.steady_rate)
+            << "/s (overhead " << overhead * 100 << "%)\n"
+            << "[bench_pressure] governed: " << governed.degradation_events
+            << " degradation events, final level " << governed.final_level
+            << ", accounted bytes " << governed.approximate_bytes << " (peak "
+            << governed.peak_accounted << "), alloc failures "
+            << governed.allocation_failures << "\n"
+            << "[bench_pressure] rss ungoverned "
+            << baseline.rss_after_warmup << " -> " << baseline.rss_final
+            << " kB, governed " << governed.rss_after_warmup << " -> "
+            << governed.rss_final << " kB\n";
+
+  // --- gates -----------------------------------------------------------------
+  bool ok = true;
+  const auto gate = [&](bool pass, const char* what) {
+    if (!pass) {
+      std::cerr << "[bench_pressure] FAIL: " << what << "\n";
+      ok = false;
+    }
+    return pass;
+  };
+  gate(governed.allocation_failures == 0, "governed arm hit allocation failures");
+  gate(governed.degradation_events > 0,
+       "budget clamp produced no degradation events (silent overload)");
+  gate(governed.approximate_bytes < steady,
+       "shedding did not reduce the accounted aggregate footprint");
+  gate(governed.total_records == baseline.total_records &&
+           governed.total_failures == baseline.total_failures,
+       "national tallies diverged between arms (silent drops)");
+  const bool rss_measured =
+      baseline.rss_after_warmup > 0 && governed.rss_after_warmup > 0;
+  const bool rss_flat =
+      !rss_measured ||
+      (baseline.rss_final <= baseline.rss_after_warmup + rss_slack_kb &&
+       governed.rss_final <= governed.rss_after_warmup + rss_slack_kb);
+  gate(rss_flat, "RSS grew past the post-warmup baseline");
+
+  std::ofstream json{out_path, std::ios::trunc};
+  json << "{\n"
+       << "  \"days\": " << days << ",\n"
+       << "  \"records_per_day\": " << per_day << ",\n"
+       << "  \"ungoverned_records_per_sec\": "
+       << static_cast<std::uint64_t>(baseline.steady_rate) << ",\n"
+       << "  \"governed_records_per_sec\": "
+       << static_cast<std::uint64_t>(governed.steady_rate) << ",\n"
+       << "  \"governance_overhead\": " << overhead << ",\n"
+       << "  \"steady_aggregate_bytes\": " << steady << ",\n"
+       << "  \"clamped_budget_bytes\": " << steady / 3 << ",\n"
+       << "  \"governed_aggregate_bytes\": " << governed.approximate_bytes
+       << ",\n"
+       << "  \"governed_peak_accounted_bytes\": " << governed.peak_accounted
+       << ",\n"
+       << "  \"degradation_events\": " << governed.degradation_events << ",\n"
+       << "  \"final_level\": \"" << governed.final_level << "\",\n"
+       << "  \"allocation_failures\": " << governed.allocation_failures
+       << ",\n"
+       << "  \"state_bytes_governed\": " << governed.state_bytes << ",\n"
+       << "  \"state_bytes_ungoverned\": " << baseline.state_bytes << ",\n"
+       << "  \"rss_ungoverned_warmup_kb\": " << baseline.rss_after_warmup
+       << ",\n"
+       << "  \"rss_ungoverned_final_kb\": " << baseline.rss_final << ",\n"
+       << "  \"rss_governed_warmup_kb\": " << governed.rss_after_warmup
+       << ",\n"
+       << "  \"rss_governed_final_kb\": " << governed.rss_final << ",\n"
+       << "  \"rss_flat\": " << (rss_flat ? "true" : "false") << ",\n"
+       << "  \"gates_ok\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+  if (!json) {
+    std::cerr << "[bench_pressure] FAIL: could not write " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "[bench_pressure] wrote " << out_path << "\n";
+  std::filesystem::remove_all(root);
+  return ok ? 0 : 1;
+}

@@ -22,6 +22,7 @@
 #include "io/faulty_file.hpp"
 #include "io/file.hpp"
 #include "telemetry/record_log.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -46,8 +47,24 @@ int main(int argc, char** argv) {
 
   int schedules = 5;
   std::uint64_t seed = 20240129;
-  if (argc > 1) schedules = std::atoi(argv[1]);
-  if (argc > 2) seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  if (argc > 1) {
+    const auto parsed = util::parse_uint(argv[1], 1, 100000);
+    if (!parsed) {
+      std::cerr << "error: bad schedules: " << argv[1] << "\n"
+                << "usage: " << argv[0] << " [schedules 1..100000] [seed]\n";
+      return 2;
+    }
+    schedules = static_cast<int>(*parsed);
+  }
+  if (argc > 2) {
+    const auto parsed = util::parse_uint(argv[2]);
+    if (!parsed) {
+      std::cerr << "error: bad seed: " << argv[2] << "\n"
+                << "usage: " << argv[0] << " [schedules 1..100000] [seed]\n";
+      return 2;
+    }
+    seed = *parsed;
+  }
 
   core::StudyConfig config = core::StudyConfig::test_scale();
   config.days = 3;

@@ -21,7 +21,16 @@
 #include "supervise/supervisor.hpp"
 #include "supervise/task_fault_injector.hpp"
 #include "telemetry/aggregates.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
+
+[[noreturn]] static void usage(const char* argv0, const std::string& why) {
+  std::cerr << "error: " << why << "\n"
+            << "usage: " << argv0 << " [scale] [seed] [--storm]\n"
+            << "  scale (0, 1]  deployment scale factor\n"
+            << "  seed  uint64  simulation seed\n";
+  std::exit(2);
+}
 
 int main(int argc, char** argv) {
   using namespace tl;
@@ -36,11 +45,20 @@ int main(int argc, char** argv) {
       positional.push_back(argv[i]);
     }
   }
+  if (positional.size() > 2) usage(argv[0], "too many positional arguments");
   core::StudyConfig config = core::StudyConfig::bench_scale();
-  config.scale = !positional.empty() ? std::atof(positional[0]) : 0.01;
-  config.seed = positional.size() > 1
-                    ? static_cast<std::uint64_t>(std::atoll(positional[1]))
-                    : 42;
+  config.scale = 0.01;
+  config.seed = 42;
+  if (!positional.empty()) {
+    const auto scale = util::parse_double(positional[0], 1e-6, 1.0);
+    if (!scale) usage(argv[0], std::string{"bad scale: "} + positional[0]);
+    config.scale = *scale;
+  }
+  if (positional.size() > 1) {
+    const auto seed = util::parse_uint(positional[1]);
+    if (!seed) usage(argv[0], std::string{"bad seed: "} + positional[1]);
+    config.seed = *seed;
+  }
   config.days = 1;
   config.finalize();
   config.population.count = 20'000;

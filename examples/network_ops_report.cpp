@@ -34,7 +34,24 @@
 #include "supervise/task_fault_injector.hpp"
 #include "telemetry/aggregates.hpp"
 #include "telemetry/pingpong.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& why) {
+  std::cerr << "error: " << why << "\n"
+            << "usage: " << argv0
+            << " [scale] [days] [--threads N] [--supervised]"
+               " [--fault-rate F] [--metrics-out PATH]\n"
+            << "  scale        (0, 1]   deployment scale factor\n"
+            << "  days         1..366   study days to simulate\n"
+            << "  --threads    0..1024  workers per day (0 = all hardware)\n"
+            << "  --fault-rate [0, 1]   per-attempt shard fault probability\n";
+  std::exit(2);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tl;
@@ -46,11 +63,15 @@ int main(int argc, char** argv) {
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      config.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      const auto threads = util::parse_uint(argv[++i], 0, 1024);
+      if (!threads) usage(argv[0], std::string{"bad --threads: "} + argv[i]);
+      config.threads = static_cast<unsigned>(*threads);
     } else if (std::strcmp(argv[i], "--supervised") == 0) {
       supervised = true;
     } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
-      fault_rate = std::atof(argv[++i]);
+      const auto rate = util::parse_double(argv[++i], 0.0, 1.0);
+      if (!rate) usage(argv[0], std::string{"bad --fault-rate: "} + argv[i]);
+      fault_rate = *rate;
       supervised = true;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
@@ -58,8 +79,19 @@ int main(int argc, char** argv) {
       positional.push_back(argv[i]);
     }
   }
-  config.scale = positional.size() > 0 ? std::atof(positional[0]) : 0.01;
-  config.days = positional.size() > 1 ? std::atoi(positional[1]) : 1;
+  if (positional.size() > 2) usage(argv[0], "too many positional arguments");
+  config.scale = 0.01;
+  config.days = 1;
+  if (positional.size() > 0) {
+    const auto scale = util::parse_double(positional[0], 1e-6, 1.0);
+    if (!scale) usage(argv[0], std::string{"bad scale: "} + positional[0]);
+    config.scale = *scale;
+  }
+  if (positional.size() > 1) {
+    const auto days = util::parse_uint(positional[1], 1, 366);
+    if (!days) usage(argv[0], std::string{"bad days: "} + positional[1]);
+    config.days = static_cast<int>(*days);
+  }
   config.finalize();
   config.population.count = 20'000;
 

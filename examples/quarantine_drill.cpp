@@ -24,6 +24,7 @@
 #include "supervise/task_fault_injector.hpp"
 #include "telemetry/record_log.hpp"
 #include "telemetry/sinks.hpp"
+#include "util/cli.hpp"
 #include "util/crc32c.hpp"
 #include "util/table.hpp"
 
@@ -50,6 +51,18 @@ class ChecksumSink final : public tl::telemetry::RecordSink {
 
 }  // namespace
 
+[[noreturn]] static void usage(const char* argv0, const std::string& why) {
+  std::cerr << "error: " << why << "\n"
+            << "usage: " << argv0
+            << " [scale] [days] [--threads N] [--poison F] [--storm F]\n"
+            << "  scale     (0, 1]   deployment scale factor\n"
+            << "  days      1..366   study days to simulate\n"
+            << "  --threads 0..1024  workers per day (0 = all hardware)\n"
+            << "  --poison  [0, 1]   fraction of UEs seeded as poison\n"
+            << "  --storm   [0, 1]   per-attempt transient-fault probability\n";
+  std::exit(2);
+}
+
 int main(int argc, char** argv) {
   using namespace tl;
 
@@ -60,17 +73,33 @@ int main(int argc, char** argv) {
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      const auto parsed = util::parse_uint(argv[++i], 0, 1024);
+      if (!parsed) usage(argv[0], std::string{"bad --threads: "} + argv[i]);
+      threads = static_cast<unsigned>(*parsed);
     } else if (std::strcmp(argv[i], "--poison") == 0 && i + 1 < argc) {
-      poison_fraction = std::atof(argv[++i]);
+      const auto parsed = util::parse_double(argv[++i], 0.0, 1.0);
+      if (!parsed) usage(argv[0], std::string{"bad --poison: "} + argv[i]);
+      poison_fraction = *parsed;
     } else if (std::strcmp(argv[i], "--storm") == 0 && i + 1 < argc) {
-      storm_rate = std::atof(argv[++i]);
+      const auto parsed = util::parse_double(argv[++i], 0.0, 1.0);
+      if (!parsed) usage(argv[0], std::string{"bad --storm: "} + argv[i]);
+      storm_rate = *parsed;
     } else {
       positional.push_back(argv[i]);
     }
   }
-  if (!positional.empty()) config.scale = std::atof(positional[0]);
-  config.days = positional.size() > 1 ? std::atoi(positional[1]) : 2;
+  if (positional.size() > 2) usage(argv[0], "too many positional arguments");
+  if (!positional.empty()) {
+    const auto scale = util::parse_double(positional[0], 1e-6, 1.0);
+    if (!scale) usage(argv[0], std::string{"bad scale: "} + positional[0]);
+    config.scale = *scale;
+  }
+  config.days = 2;
+  if (positional.size() > 1) {
+    const auto days = util::parse_uint(positional[1], 1, 366);
+    if (!days) usage(argv[0], std::string{"bad days: "} + positional[1]);
+    config.days = static_cast<int>(*days);
+  }
   config.finalize();
   config.population.count = 4'000;
 

@@ -15,7 +15,22 @@
 #include "core/report.hpp"
 #include "core/simulator.hpp"
 #include "telemetry/aggregates.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const std::string& why) {
+  std::cerr << "error: " << why << "\n"
+            << "usage: " << argv0 << " [scale] [days] [seed] [--threads N]\n"
+            << "  scale      (0, 1]   deployment scale factor\n"
+            << "  days       1..366   study days to simulate\n"
+            << "  seed       uint64   simulation seed\n"
+            << "  --threads  0..1024  workers per day (0 = all hardware)\n";
+  std::exit(2);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tl;
@@ -24,15 +39,28 @@ int main(int argc, char** argv) {
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      config.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      const auto threads = util::parse_uint(argv[++i], 0, 1024);
+      if (!threads) usage(argv[0], std::string{"bad --threads: "} + argv[i]);
+      config.threads = static_cast<unsigned>(*threads);
     } else {
       positional.push_back(argv[i]);
     }
   }
-  if (positional.size() > 0) config.scale = std::atof(positional[0]);
-  if (positional.size() > 1) config.days = std::atoi(positional[1]);
-  if (positional.size() > 2)
-    config.seed = static_cast<std::uint64_t>(std::atoll(positional[2]));
+  if (positional.size() > 0) {
+    const auto scale = util::parse_double(positional[0], 1e-6, 1.0);
+    if (!scale) usage(argv[0], std::string{"bad scale: "} + positional[0]);
+    config.scale = *scale;
+  }
+  if (positional.size() > 1) {
+    const auto days = util::parse_uint(positional[1], 1, 366);
+    if (!days) usage(argv[0], std::string{"bad days: "} + positional[1]);
+    config.days = static_cast<int>(*days);
+  }
+  if (positional.size() > 2) {
+    const auto seed = util::parse_uint(positional[2]);
+    if (!seed) usage(argv[0], std::string{"bad seed: "} + positional[2]);
+    config.seed = *seed;
+  }
   config.finalize();
   config.population.count = std::min<std::uint32_t>(config.population.count, 40'000);
 

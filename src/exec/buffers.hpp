@@ -8,59 +8,134 @@
 // canonical UE order. Consumers therefore observe exactly the serial
 // stream — same records, same order, same bytes — regardless of how many
 // workers produced it.
+//
+// These buffers are the engine's dominant transient allocation (every
+// in-flight shard holds one), so they report their vector capacities to the
+// resource governor: each buffer resolves a shared named Accountant at
+// construction (null-safe no-op without a governor) and syncs on capacity
+// changes — a relaxed atomic delta, safe from worker threads, paid only
+// when the vector actually grows.
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "govern/governor.hpp"
 #include "telemetry/records.hpp"
 #include "telemetry/sinks.hpp"
 
 namespace tl::exec {
 
+namespace detail {
+
+/// Capacity-accounting mixin for the two buffer types. Movable (the moved-
+/// from buffer stops accounting), deliberately not copyable — a copy would
+/// need its own accounted capacity and nothing copies these.
+template <typename T>
+class AccountedVector {
+ public:
+  explicit AccountedVector(const char* account_name)
+      : account_(govern::account(account_name)) {}
+  ~AccountedVector() { account_.sub(accounted_bytes_); }
+
+  AccountedVector(AccountedVector&& other) noexcept
+      : items_(std::move(other.items_)),
+        account_(other.account_),
+        accounted_bytes_(other.accounted_bytes_) {
+    other.items_.clear();
+    other.accounted_bytes_ = 0;
+  }
+  AccountedVector& operator=(AccountedVector&& other) noexcept {
+    if (this != &other) {
+      account_.sub(accounted_bytes_);
+      items_ = std::move(other.items_);
+      account_ = other.account_;
+      accounted_bytes_ = other.accounted_bytes_;
+      other.items_.clear();
+      other.accounted_bytes_ = 0;
+    }
+    return *this;
+  }
+  AccountedVector(const AccountedVector&) = delete;
+  AccountedVector& operator=(const AccountedVector&) = delete;
+
+  void push(const T& item) {
+    items_.push_back(item);
+    if (items_.capacity() * sizeof(T) != accounted_bytes_) sync();
+  }
+
+  void release() {
+    items_.clear();
+    items_.shrink_to_fit();
+    sync();
+  }
+
+  const std::vector<T>& items() const noexcept { return items_; }
+
+ private:
+  void sync() {
+    const std::uint64_t bytes = items_.capacity() * sizeof(T);
+    if (bytes >= accounted_bytes_) {
+      account_.add(bytes - accounted_bytes_);
+    } else {
+      account_.sub(accounted_bytes_ - bytes);
+    }
+    accounted_bytes_ = bytes;
+  }
+
+  std::vector<T> items_;
+  govern::Accountant account_;
+  std::uint64_t accounted_bytes_ = 0;
+};
+
+}  // namespace detail
+
 class RecordBuffer final : public telemetry::RecordSink {
  public:
+  RecordBuffer() : buffer_("exec_record_buffers") {}
+
   void consume(const telemetry::HandoverRecord& record) override {
-    records_.push_back(record);
+    buffer_.push(record);
   }
 
   /// Replays every buffered record, in arrival order, through `sinks`, then
   /// releases the buffer's memory (a drained shard holds nothing).
   void drain_to(std::span<telemetry::RecordSink* const> sinks) {
-    for (const auto& record : records_) {
+    for (const auto& record : buffer_.items()) {
       for (auto* sink : sinks) sink->consume(record);
     }
-    records_.clear();
-    records_.shrink_to_fit();
+    buffer_.release();
   }
 
-  std::size_t size() const noexcept { return records_.size(); }
+  std::size_t size() const noexcept { return buffer_.items().size(); }
   const std::vector<telemetry::HandoverRecord>& records() const noexcept {
-    return records_;
+    return buffer_.items();
   }
 
  private:
-  std::vector<telemetry::HandoverRecord> records_;
+  detail::AccountedVector<telemetry::HandoverRecord> buffer_;
 };
 
 class MetricsBuffer final : public telemetry::MetricsSink {
  public:
+  MetricsBuffer() : buffer_("exec_metrics_buffers") {}
+
   void consume(const telemetry::UeDayMetrics& metrics) override {
-    rows_.push_back(metrics);
+    buffer_.push(metrics);
   }
 
   void drain_to(std::span<telemetry::MetricsSink* const> sinks) {
-    for (const auto& row : rows_) {
+    for (const auto& row : buffer_.items()) {
       for (auto* sink : sinks) sink->consume(row);
     }
-    rows_.clear();
-    rows_.shrink_to_fit();
+    buffer_.release();
   }
 
-  std::size_t size() const noexcept { return rows_.size(); }
+  std::size_t size() const noexcept { return buffer_.items().size(); }
 
  private:
-  std::vector<telemetry::UeDayMetrics> rows_;
+  detail::AccountedVector<telemetry::UeDayMetrics> buffer_;
 };
 
 }  // namespace tl::exec

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "govern/governor.hpp"
 #include "obs/scoped_timer.hpp"
 
 namespace tl::exec {
@@ -19,6 +20,9 @@ ShardedDayRunner::ShardedDayRunner(Options options)
   if (obs::MetricsRegistry* reg = obs::global_registry()) {
     shards_total_ = reg->counter("tl_exec_shards_simulated_total",
                                  "Shards simulated by the day runner");
+    throttle_waits_total_ =
+        reg->counter("tl_govern_backpressure_waits_total",
+                     "Shard starts delayed by the backpressure gate");
     shard_sim_seconds_ =
         reg->histogram("tl_exec_shard_sim_seconds",
                        obs::MetricsRegistry::latency_edges_s(),
@@ -36,10 +40,35 @@ std::size_t ShardedDayRunner::shard_count(std::size_t item_count) const noexcept
   return std::max<std::size_t>(1, std::min(item_count, cap));
 }
 
+std::size_t ShardedDayRunner::gate_window(std::size_t shards) const {
+  std::size_t window = options_.max_live_shards;
+  if (window == 0) {
+    // Auto: throttle only when the governor reports pressure, and then hold
+    // the staging footprint to roughly one in-flight shard per worker. The
+    // window choice never affects output bytes (merge order is fixed), so
+    // reading the hysteretic level here is safe even though it can differ
+    // between runs.
+    govern::MemoryBudget* governor = govern::global_governor();
+    if (governor == nullptr ||
+        governor->level() == govern::PressureLevel::kSteady) {
+      return 0;
+    }
+    window = pool_.size();
+  }
+  return window >= shards ? 0 : window;
+}
+
 void ShardedDayRunner::run(std::size_t item_count, const SimulateFn& simulate,
                            const MergeFn& merge) {
   if (item_count == 0) return;
   const std::size_t shards = shard_count(item_count);
+  // Bounded hand-off: shard s may not start simulating until fewer than
+  // `window` shards sit between it and the merge floor. Tasks are submitted
+  // in ascending shard order to a FIFO pool and merged in ascending order,
+  // so the gate can only delay starts, never reorder anything — see
+  // BackpressureGate for the deadlock-freedom argument. Every early exit
+  // below must open() the gate before waiting on worker futures.
+  govern::BackpressureGate gate{gate_window(shards)};
 
   struct ShardState {
     bool done = false;
@@ -75,7 +104,8 @@ void ShardedDayRunner::run(std::size_t item_count, const SimulateFn& simulate,
       const std::size_t first = shard * item_count / shards;
       const std::size_t last = (shard + 1) * item_count / shards;
       futures.push_back(pool_.submit([this, &states, &mutex, &shard_done, &simulate,
-                                      shard, first, last] {
+                                      &gate, shard, first, last] {
+        gate.acquire(shard);
         std::exception_ptr error;
         obs::ScopedTimer span{shard_sim_seconds_};
         try {
@@ -99,6 +129,7 @@ void ShardedDayRunner::run(std::size_t item_count, const SimulateFn& simulate,
       ++submitted;
     }
   } catch (...) {
+    gate.open();
     wait_for_submitted();
     wait_for_futures();
     throw;
@@ -116,15 +147,21 @@ void ShardedDayRunner::run(std::size_t item_count, const SimulateFn& simulate,
         first_error = states[shard].error;
       }
     }
-    if (first_error != nullptr) continue;
+    if (first_error != nullptr) {
+      gate.open();  // no more merges will retire slots; unblock the workers
+      continue;
+    }
     try {
       obs::ScopedTimer span{shard_merge_seconds_};
       merge(shard);
     } catch (...) {
       first_error = std::current_exception();
+      gate.open();
     }
+    gate.release();
   }
   wait_for_futures();
+  throttle_waits_total_.inc(gate.waits());
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 

@@ -35,6 +35,15 @@ class ShardedDayRunner {
     /// Shards per worker (> 1 lets finished workers steal ahead of a slow
     /// shard instead of idling at the merge barrier).
     unsigned shards_per_thread = 4;
+    /// Backpressure window: at most this many shards may be past the gate
+    /// (simulating or simulated-but-unmerged) ahead of the merge floor,
+    /// bounding the buffered-records footprint to O(window) shards instead
+    /// of O(all shards). 0 = auto: unbounded at Steady pressure, one
+    /// window-per-worker clamp when the global governor reports pressure.
+    /// Throttling only delays when a shard *starts*; the ascending merge
+    /// order — and therefore every output byte — is unchanged (proved at
+    /// several windows by tests/test_govern.cpp).
+    std::size_t max_live_shards = 0;
     /// Chaos/observability seam: invoked on the worker thread at the top of
     /// every shard task, before the simulate callback. An exception thrown
     /// here poisons the shard exactly like one thrown by simulate — which
@@ -73,8 +82,12 @@ class ShardedDayRunner {
   Options options_;
   ThreadPool pool_;
 
+  /// Effective gate window for a run over `shards` shards (0 = no gate).
+  std::size_t gate_window(std::size_t shards) const;
+
   // Construction-captured obs handles (see ThreadPool for the rationale).
   obs::Counter shards_total_;
+  obs::Counter throttle_waits_total_;
   obs::Histogram shard_sim_seconds_;
   obs::Histogram shard_merge_seconds_;
 };

@@ -1,6 +1,7 @@
 #include "io/faulty_file.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace tl::io {
 
@@ -51,6 +52,7 @@ struct FaultyFileSystem::State {
   util::Rng rng;
   std::uint64_t ops = 0;
   bool dead = false;
+  std::atomic<bool> disk_full{false};
   std::vector<IoFault> fired;
   std::vector<FaultyFile*> open_files;
 
@@ -95,6 +97,9 @@ class FaultyFile final : public File {
 
   std::size_t write(const void* data, std::size_t size) override {
     state_->ensure_alive();
+    // Checked before tick(): a full disk rejects the write without
+    // consuming a plan op (see set_disk_full).
+    if (state_->disk_full.load(std::memory_order_relaxed)) return 0;
     const IoFault* fault = state_->tick();
     if (fault == nullptr) {
       const std::size_t n = inner_->write(data, size);
@@ -266,6 +271,13 @@ std::vector<std::string> FaultyFileSystem::list(const std::string& dir,
                                                 const std::string& prefix) {
   state_->ensure_alive();
   return state_->inner.list(dir, prefix);
+}
+
+void FaultyFileSystem::set_disk_full(bool full) noexcept {
+  state_->disk_full.store(full, std::memory_order_relaxed);
+}
+bool FaultyFileSystem::disk_full() const noexcept {
+  return state_->disk_full.load(std::memory_order_relaxed);
 }
 
 std::uint64_t FaultyFileSystem::ops() const noexcept { return state_->ops; }

@@ -93,6 +93,14 @@ class FaultyFileSystem final : public FileSystem {
   std::vector<std::string> list(const std::string& dir,
                                 const std::string& prefix) override;
 
+  /// Disk-full mode: while set, every write() persists nothing and returns
+  /// 0 (ENOSPC as a sustained condition, not a one-shot fault). Unlike the
+  /// plan's kShortWrite, disk-full writes do NOT consume plan ops — the
+  /// plan's time base stays aligned with the writes that would exist
+  /// without the outage, so clearing it resumes the schedule unchanged.
+  void set_disk_full(bool full) noexcept;
+  bool disk_full() const noexcept;
+
   /// Mutating operations performed so far (the fault-plan time base).
   std::uint64_t ops() const noexcept;
   /// True once a kCrash fault has fired; every subsequent operation throws

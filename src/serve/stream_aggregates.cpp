@@ -1,10 +1,23 @@
 #include "serve/stream_aggregates.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "util/rng.hpp"
+
 namespace tl::serve {
+
+const char* to_string(DegradeLevel level) noexcept {
+  switch (level) {
+    case DegradeLevel::kExact: return "exact";
+    case DegradeLevel::kSketchOnly: return "sketch-only";
+    case DegradeLevel::kSampled: return "sampled";
+  }
+  return "?";
+}
+
 namespace {
 
 // Little-endian byte helpers, matching the sketch's serialization idiom.
@@ -51,7 +64,13 @@ struct Reader {
 };
 
 constexpr char kMagic[4] = {'T', 'L', 'S', 'A'};
-constexpr std::uint8_t kVersion = 1;
+// v2 added the degradation ladder (per-day level/modulus, event journal).
+constexpr std::uint8_t kVersion = 2;
+
+// Salt for the content-keyed sketch-sampling hash. Part of the wire
+// contract: certifying a sampled day's quantiles requires recomputing the
+// same admitted substream.
+constexpr std::uint64_t kSampleSalt = 0x5a3d1e5ab0a5e5ULL;
 
 void put_tally(std::vector<std::uint8_t>& out,
                const StreamAggregates::Tally& t) {
@@ -100,6 +119,18 @@ StreamAggregates::StreamAggregates(Options options)
   if (options_.window_days == 0) {
     throw std::invalid_argument{"StreamAggregates: window_days must be >= 1"};
   }
+  if (options_.sample_modulus == 0) {
+    throw std::invalid_argument{"StreamAggregates: sample_modulus must be >= 1"};
+  }
+}
+
+bool StreamAggregates::sample_admits(const telemetry::HandoverRecord& record,
+                                     std::uint32_t modulus) noexcept {
+  if (modulus <= 1) return true;
+  return util::derive_seed(kSampleSalt, record.anon_user_id,
+                           static_cast<std::uint64_t>(record.timestamp)) %
+             modulus ==
+         0;
 }
 
 void StreamAggregates::consume(const telemetry::HandoverRecord& record) {
@@ -120,16 +151,22 @@ void StreamAggregates::consume(const telemetry::HandoverRecord& record) {
     ++open_.by_target[target].handovers;
     if (failed) ++open_.by_target[target].failures;
   }
-  Tally& district = open_.by_district[record.district];
-  ++district.handovers;
-  if (failed) ++district.failures;
-  Tally& sector = sectors_[record.source_sector];
-  ++sector.handovers;
-  if (failed) ++sector.failures;
+  // The unbounded-cardinality maps stop accumulating below kExact; the
+  // national/vendor/RAT tallies above stay exact at every level.
+  if (level_ < DegradeLevel::kSketchOnly) {
+    Tally& district = open_.by_district[record.district];
+    ++district.handovers;
+    if (failed) ++district.failures;
+    Tally& sector = sectors_[record.source_sector];
+    ++sector.handovers;
+    if (failed) ++sector.failures;
+  }
   // Successful-HO signaling time, like DurationAggregator (failure
   // durations measure the abort path, a different distribution). NaN goes
-  // to the sketch's nan tally.
-  if (record.success) {
+  // to the sketch's nan tally. At kSampled, admission is a pure hash of
+  // record identity — the declared basis of the day's certified bound.
+  if (record.success && (open_.sample_modulus <= 1 ||
+                         sample_admits(record, open_.sample_modulus))) {
     open_.durations.insert(static_cast<double>(record.duration_ms));
   }
 }
@@ -144,9 +181,50 @@ void StreamAggregates::on_day_end(int day) {
   open_.day = day;
   window_.push_back(std::move(open_));
   open_ = DayStats(options_.sketch_k);
+  open_.degrade_level = level_;
+  open_.sample_modulus =
+      level_ == DegradeLevel::kSampled ? options_.sample_modulus : 1;
   while (window_.size() > options_.window_days) window_.pop_front();
   ++days_sealed_;
   last_sealed_day_ = day;
+  // Level changes only here, at seal boundaries: a day is accumulated
+  // entirely at one level, so its stamped (level, modulus) is a complete
+  // description of how to certify it.
+  if (degrade_policy_) apply_degrade(degrade_policy_(day + 1), day + 1);
+}
+
+void StreamAggregates::apply_degrade(const DegradeDecision& decision,
+                                     int effective_day) {
+  if (decision.level == level_) return;
+  DegradationEvent event;
+  event.effective_day = effective_day;
+  event.from = level_;
+  event.to = decision.level;
+  event.used_bytes = decision.used_bytes;
+  event.budget_bytes = decision.budget_bytes;
+  event.sample_modulus =
+      decision.level == DegradeLevel::kSampled ? options_.sample_modulus : 1;
+  if (level_ < DegradeLevel::kSketchOnly &&
+      decision.level >= DegradeLevel::kSketchOnly) {
+    // First crossing below exact: shed the unbounded-cardinality maps, and
+    // record exactly how much detail went — shed, never silently dropped.
+    event.shed_district_keys = open_.by_district.size();
+    for (DayStats& day : window_) {
+      event.shed_district_keys += day.by_district.size();
+      day.by_district.clear();
+    }
+    open_.by_district.clear();
+    event.shed_sector_keys = sectors_.size();
+    sectors_.clear();
+  }
+  level_ = decision.level;
+  open_.degrade_level = level_;
+  open_.sample_modulus = event.sample_modulus;
+  if (events_.size() >= kMaxEvents) {
+    events_.erase(events_.begin());
+    ++events_dropped_;
+  }
+  events_.push_back(event);
 }
 
 StreamAggregates::WindowReport StreamAggregates::report() const {
@@ -172,6 +250,10 @@ StreamAggregates::WindowReport StreamAggregates::report() const {
       merged_tally.handovers += tally.handovers;
       merged_tally.failures += tally.failures;
     }
+    if (day.degrade_level != DegradeLevel::kExact) ++report.degraded_days;
+    report.max_sample_modulus =
+        std::max(report.max_sample_modulus, day.sample_modulus);
+    if (!day.by_district.empty()) ++report.district_detail_days;
     merged.merge(day.durations);
   }
   report.sketch_count = merged.count();
@@ -192,11 +274,35 @@ std::size_t StreamAggregates::stored_sketch_items() const noexcept {
 
 namespace {
 
+std::size_t approximate_day_bytes(const StreamAggregates::DayStats& day) {
+  // ~64 B per rb-tree map node (key + tally + node overhead), 8 B per
+  // stored sketch item plus ~48 B per sketch level vector, and the struct
+  // itself. Deliberately a function of *sizes*, never capacities: restored
+  // and uninterrupted replicas must report the same value.
+  return sizeof(StreamAggregates::DayStats) + day.by_district.size() * 64 +
+         day.durations.stored_items() * 8 + day.durations.levels() * 48;
+}
+
+}  // namespace
+
+std::size_t StreamAggregates::approximate_bytes() const noexcept {
+  std::size_t bytes = sizeof(StreamAggregates);
+  bytes += sectors_.size() * 64;
+  bytes += approximate_day_bytes(open_);
+  for (const DayStats& day : window_) bytes += approximate_day_bytes(day);
+  bytes += events_.size() * sizeof(DegradationEvent);
+  return bytes;
+}
+
+namespace {
+
 void put_day(std::vector<std::uint8_t>& out,
              const StreamAggregates::DayStats& day) {
   put_u32(out, static_cast<std::uint32_t>(day.day));
   put_u64(out, day.handovers);
   put_u64(out, day.failures);
+  out.push_back(static_cast<std::uint8_t>(day.degrade_level));
+  put_u32(out, day.sample_modulus);
   for (const auto& t : day.by_vendor) put_tally(out, t);
   for (const auto& t : day.by_target) put_tally(out, t);
   put_tally_map(out, day.by_district);
@@ -209,6 +315,13 @@ StreamAggregates::DayStats read_day(Reader& r, std::size_t sketch_k) {
   day.handovers = r.u64();
   day.failures = r.u64();
   if (day.failures > day.handovers) Reader::corrupt("day failures > handovers");
+  const std::uint8_t level = r.u8();
+  if (level > static_cast<std::uint8_t>(DegradeLevel::kSampled)) {
+    Reader::corrupt("day degrade level out of range");
+  }
+  day.degrade_level = static_cast<DegradeLevel>(level);
+  day.sample_modulus = r.u32();
+  if (day.sample_modulus == 0) Reader::corrupt("day sample modulus zero");
   for (auto& t : day.by_vendor) t = read_tally(r);
   for (auto& t : day.by_target) t = read_tally(r);
   day.by_district = read_tally_map(r);
@@ -224,10 +337,24 @@ void StreamAggregates::serialize(std::vector<std::uint8_t>& out) const {
   out.push_back(kVersion);
   put_u32(out, static_cast<std::uint32_t>(options_.window_days));
   put_u32(out, static_cast<std::uint32_t>(options_.sketch_k));
+  put_u32(out, options_.sample_modulus);
   put_u64(out, total_records_);
   put_u64(out, total_failures_);
   put_u64(out, days_sealed_);
   put_u32(out, static_cast<std::uint32_t>(last_sealed_day_));
+  out.push_back(static_cast<std::uint8_t>(level_));
+  put_u64(out, events_dropped_);
+  put_u32(out, static_cast<std::uint32_t>(events_.size()));
+  for (const DegradationEvent& event : events_) {
+    put_u32(out, static_cast<std::uint32_t>(event.effective_day));
+    out.push_back(static_cast<std::uint8_t>(event.from));
+    out.push_back(static_cast<std::uint8_t>(event.to));
+    put_u64(out, event.used_bytes);
+    put_u64(out, event.budget_bytes);
+    put_u32(out, event.sample_modulus);
+    put_u64(out, event.shed_district_keys);
+    put_u64(out, event.shed_sector_keys);
+  }
   put_tally_map(out, sectors_);
   put_u32(out, static_cast<std::uint32_t>(window_.size()));
   for (const DayStats& day : window_) put_day(out, day);
@@ -247,9 +374,11 @@ StreamAggregates StreamAggregates::deserialize(
   Options options;
   options.window_days = r.u32();
   options.sketch_k = r.u32();
+  options.sample_modulus = r.u32();
   if (options.window_days == 0 || options.window_days > (1u << 20)) {
     Reader::corrupt("window_days out of range");
   }
+  if (options.sample_modulus == 0) Reader::corrupt("sample_modulus zero");
   StreamAggregates aggs(options);  // validates sketch_k via the open sketch
   aggs.total_records_ = r.u64();
   aggs.total_failures_ = r.u64();
@@ -257,6 +386,47 @@ StreamAggregates StreamAggregates::deserialize(
   aggs.last_sealed_day_ = static_cast<std::int32_t>(r.u32());
   if (aggs.total_failures_ > aggs.total_records_) {
     Reader::corrupt("total failures > total records");
+  }
+  const std::uint8_t level = r.u8();
+  if (level > static_cast<std::uint8_t>(DegradeLevel::kSampled)) {
+    Reader::corrupt("degrade level out of range");
+  }
+  aggs.level_ = static_cast<DegradeLevel>(level);
+  aggs.events_dropped_ = r.u64();
+  const std::uint32_t event_count = r.u32();
+  if (event_count > StreamAggregates::kMaxEvents) {
+    Reader::corrupt("event journal larger than cap");
+  }
+  // 42 bytes per event entry on the wire.
+  if (event_count > (r.bytes.size() - r.pos) / 42) {
+    Reader::corrupt("event journal size");
+  }
+  std::int64_t previous_event_day = INT64_MIN;
+  for (std::uint32_t i = 0; i < event_count; ++i) {
+    DegradationEvent event;
+    event.effective_day = static_cast<std::int32_t>(r.u32());
+    const std::uint8_t from = r.u8();
+    const std::uint8_t to = r.u8();
+    if (from > static_cast<std::uint8_t>(DegradeLevel::kSampled) ||
+        to > static_cast<std::uint8_t>(DegradeLevel::kSampled) || from == to) {
+      Reader::corrupt("event levels invalid");
+    }
+    event.from = static_cast<DegradeLevel>(from);
+    event.to = static_cast<DegradeLevel>(to);
+    event.used_bytes = r.u64();
+    event.budget_bytes = r.u64();
+    event.sample_modulus = r.u32();
+    if (event.sample_modulus == 0) Reader::corrupt("event modulus zero");
+    event.shed_district_keys = r.u64();
+    event.shed_sector_keys = r.u64();
+    if (event.effective_day < previous_event_day) {
+      Reader::corrupt("event days not nondecreasing");
+    }
+    previous_event_day = event.effective_day;
+    aggs.events_.push_back(event);
+  }
+  if (!aggs.events_.empty() && aggs.events_.back().to != aggs.level_) {
+    Reader::corrupt("last event disagrees with instance level");
   }
   aggs.sectors_ = read_tally_map(r);
   const std::uint32_t ring = r.u32();
@@ -276,6 +446,14 @@ StreamAggregates StreamAggregates::deserialize(
   }
   aggs.open_ = read_day(r, options.sketch_k);
   if (aggs.open_.day != -1) Reader::corrupt("open day carries a day index");
+  if (aggs.open_.degrade_level != aggs.level_) {
+    Reader::corrupt("open day level disagrees with instance level");
+  }
+  const std::uint32_t expected_modulus =
+      aggs.level_ == DegradeLevel::kSampled ? options.sample_modulus : 1;
+  if (aggs.open_.sample_modulus != expected_modulus) {
+    Reader::corrupt("open day modulus disagrees with instance level");
+  }
   offset = r.pos;
   return aggs;
 }

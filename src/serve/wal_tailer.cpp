@@ -37,13 +37,32 @@ std::uint64_t get_u64(const std::uint8_t* p) {
          (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
 }
 
+DegradeLevel ladder_for(govern::PressureLevel pressure) noexcept {
+  switch (pressure) {
+    case govern::PressureLevel::kSteady: return DegradeLevel::kExact;
+    case govern::PressureLevel::kElevated: return DegradeLevel::kSketchOnly;
+    case govern::PressureLevel::kCritical: return DegradeLevel::kSampled;
+  }
+  return DegradeLevel::kExact;
+}
+
+govern::PressureLevel pressure_for(DegradeLevel level) noexcept {
+  switch (level) {
+    case DegradeLevel::kExact: return govern::PressureLevel::kSteady;
+    case DegradeLevel::kSketchOnly: return govern::PressureLevel::kElevated;
+    case DegradeLevel::kSampled: return govern::PressureLevel::kCritical;
+  }
+  return govern::PressureLevel::kSteady;
+}
+
 }  // namespace
 
 WalTailer::WalTailer(io::FileSystem& fs, Options options)
     : fs_(fs),
       options_(std::move(options)),
       aggregates_(StreamAggregates::Options{options_.window_days,
-                                            options_.sketch_k}) {
+                                            options_.sketch_k,
+                                            options_.sample_modulus}) {
   if (options_.wal_directory.empty() || options_.checkpoint_path.empty()) {
     throw std::invalid_argument{
         "WalTailer: wal_directory and checkpoint_path are required"};
@@ -58,6 +77,7 @@ WalTailer::WalTailer(io::FileSystem& fs, Options options)
 
 void WalTailer::open() {
   resolve_obs();
+  resolve_governor();
   // A .tmp is a checkpoint attempt that died before its rename: the real
   // checkpoint (if any) is still intact, the tmp is garbage.
   const std::string tmp = options_.checkpoint_path + ".tmp";
@@ -65,7 +85,55 @@ void WalTailer::open() {
   if (fs_.exists(options_.checkpoint_path)) {
     load_checkpoint(options_.checkpoint_path);
   }
+  install_degrade_policy();
+  if (governor_ != nullptr) {
+    // Re-seed the governor's deterministic state from the recovered
+    // aggregates so the remainder of a pressure plan replays exactly as an
+    // uninterrupted run: the injection clock ticks once per sealed day, and
+    // the hysteresis memory is whatever level the last seal decided.
+    governor_->set_tick(aggregates_.days_sealed());
+    governor_->set_level(pressure_for(aggregates_.level()));
+    sync_govern_account();
+  }
   open_ = true;
+}
+
+void WalTailer::resolve_governor() {
+  const std::uint64_t epoch = govern::global_epoch();
+  if (epoch == govern_epoch_) return;
+  govern_epoch_ = epoch;
+  governor_ = govern::global_governor();
+  govern_account_ = governor_ != nullptr
+                        ? governor_->accountant("serve_aggregates")
+                        : govern::Accountant{};
+  accounted_bytes_ = 0;
+}
+
+void WalTailer::sync_govern_account() {
+  const std::uint64_t now = aggregates_.approximate_bytes();
+  if (now >= accounted_bytes_) {
+    govern_account_.add(now - accounted_bytes_);
+  } else {
+    govern_account_.sub(accounted_bytes_ - now);
+  }
+  accounted_bytes_ = now;
+}
+
+void WalTailer::install_degrade_policy() {
+  aggregates_.set_degrade_policy(
+      [this](int) { return consult_governor(); });
+}
+
+StreamAggregates::DegradeDecision WalTailer::consult_governor() {
+  StreamAggregates::DegradeDecision decision;
+  decision.level = aggregates_.level();
+  if (governor_ == nullptr) return decision;  // governance off: hold level
+  sync_govern_account();
+  governor_->tick();
+  decision.level = ladder_for(governor_->level());
+  decision.used_bytes = governor_->used_bytes();
+  decision.budget_bytes = governor_->budget_bytes();
+  return decision;
 }
 
 void WalTailer::load_checkpoint(const std::string& path) {
@@ -111,7 +179,8 @@ void WalTailer::load_checkpoint(const std::string& path) {
     }
   }();
   if (aggs.options().window_days != options_.window_days ||
-      aggs.options().sketch_k != options_.sketch_k) {
+      aggs.options().sketch_k != options_.sketch_k ||
+      aggs.options().sample_modulus != options_.sample_modulus) {
     throw io::IoError{
         "serve checkpoint was written with different window/sketch options; "
         "refusing to mix streams (" + path + ")"};
@@ -171,6 +240,7 @@ void WalTailer::checkpoint() {
 WalTailer::PollResult WalTailer::poll() {
   if (!open_) throw std::logic_error{"WalTailer: open() before poll()"};
   resolve_obs();
+  resolve_governor();
   PollResult result;
   const telemetry::TailReadResult tail = telemetry::RecordLog::follow(
       fs_, options_.wal_directory, cursor_, aggregates_,
@@ -187,6 +257,11 @@ WalTailer::PollResult WalTailer::poll() {
   if (options_.retention && have_checkpoint_) {
     result.segments_retired = retire_segments();
   }
+
+  // Keep the accountant fresh between seals too (open-day sketch growth);
+  // degrade decisions still read only the seal-time sync in
+  // consult_governor, so this does not affect determinism.
+  if (governor_ != nullptr) sync_govern_account();
 
   obs_polls_.inc();
   obs_days_.inc(tail.days_delivered);

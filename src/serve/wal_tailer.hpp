@@ -29,11 +29,25 @@
 // All I/O goes through io::FileSystem, so FaultyFileSystem injects faults
 // underneath; poll_supervised() wraps a poll in the shared retry taxonomy
 // (transient IoError retries with backoff, SimulatedCrash propagates).
+//
+// Resource governance: when a global govern::MemoryBudget is installed, the
+// tailer registers the "serve_aggregates" accountant and installs a
+// DegradePolicy on its aggregates. At every day seal it syncs the
+// accountant to StreamAggregates::approximate_bytes() (a pure function of
+// logical state), ticks the governor's injection clock, and maps the
+// hysteretic pressure level onto the degradation ladder
+// (Steady -> kExact, Elevated -> kSketchOnly, Critical -> kSampled).
+// Because accounted bytes and the clamp plan are pure functions of the
+// delivered stream, the degradation history is deterministic — and open()
+// re-seeds the governor's tick (from days_sealed) and hysteresis memory
+// (from the restored level) so a kill/recover run replays the remainder of
+// a pressure plan identically to an uninterrupted one.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "govern/governor.hpp"
 #include "io/file.hpp"
 #include "obs/metrics.hpp"
 #include "serve/stream_aggregates.hpp"
@@ -50,6 +64,8 @@ class WalTailer {
     /// Rolling report window and sketch resolution (StreamAggregates).
     std::size_t window_days = 28;
     std::size_t sketch_k = 128;
+    /// Sketch-sampling modulus at DegradeLevel::kSampled (StreamAggregates).
+    std::uint32_t sample_modulus = 8;
     /// Checkpoint after this many newly sealed days (>= 1).
     std::uint64_t checkpoint_every_days = 1;
     /// Delete WAL segments strictly behind the durable cursor. Off by
@@ -114,6 +130,17 @@ class WalTailer {
   std::uint64_t retire_segments();
   /// Epoch-checked obs handle refresh (open() and poll() boundaries).
   void resolve_obs();
+  /// Epoch-checked governor refresh; on a governor swap the accountant is
+  /// re-resolved and counted bytes restart from zero against the new slot.
+  void resolve_governor();
+  /// Installs the aggregates' degrade hook (re-run after any aggregates_
+  /// replacement: std::function members do not survive a restore).
+  void install_degrade_policy();
+  /// The per-seal governor consult: sync accountant, tick, map pressure to
+  /// the degradation ladder.
+  StreamAggregates::DegradeDecision consult_governor();
+  /// Syncs the "serve_aggregates" accountant to approximate_bytes().
+  void sync_govern_account();
 
   io::FileSystem& fs_;
   Options options_;
@@ -123,6 +150,11 @@ class WalTailer {
   bool have_checkpoint_ = false;  ///< durable_cursor_ is backed by a file
   std::uint64_t days_since_checkpoint_ = 0;
   StreamAggregates aggregates_;
+
+  govern::MemoryBudget* governor_ = nullptr;
+  govern::Accountant govern_account_;  // "serve_aggregates"
+  std::uint64_t govern_epoch_ = UINT64_MAX;
+  std::uint64_t accounted_bytes_ = 0;
 
   std::uint64_t obs_epoch_ = UINT64_MAX;
   obs::Counter obs_polls_;

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "govern/governor.hpp"
 #include "util/rng.hpp"
 
 namespace tl::supervise {
@@ -60,7 +61,7 @@ std::uint64_t retry_backoff_ms(const RetryPolicy& policy, int attempt) {
 RetryReport run_with_retries(const RetryPolicy& policy, const std::string& what,
                              const std::function<void(const CancelToken&)>& fn) {
   RetryReport report;
-  const int max_attempts = 1 + std::max(0, policy.max_retries);
+  int max_attempts = 1 + std::max(0, policy.max_retries);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     const std::uint64_t backoff = retry_backoff_ms(policy, attempt);
     if (backoff > 0) {
@@ -88,7 +89,21 @@ RetryReport run_with_retries(const RetryPolicy& policy, const std::string& what,
         status.code(), what + " (attempt " + std::to_string(attempt) + "/" +
                            std::to_string(max_attempts) + "): " +
                            status.message()};
-    if (!status.retryable()) return report;
+    if (!status.retryable()) {
+      // kResourceExhausted earns exactly one extra attempt *after* the
+      // governor has been told to shed (record_allocation_failure pins the
+      // pressure level at Critical for a hold period). Without a governor
+      // there is nothing to shed, so the failure stays permanent.
+      govern::MemoryBudget* governor = govern::global_governor();
+      if (report.degraded_retries == 0 && governor != nullptr &&
+          is_retryable_with_degradation(status.code())) {
+        governor->record_allocation_failure();
+        ++report.degraded_retries;
+        ++max_attempts;
+        continue;
+      }
+      return report;
+    }
   }
   // Retries exhausted on a retryable failure: surface as kAborted, the
   // taxonomy's "supervision itself gave up" code, keeping the last cause.

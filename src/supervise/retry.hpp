@@ -43,6 +43,9 @@ struct RetryReport {
   int attempts = 0;    ///< total attempts made (>= 1 unless max_retries < 0)
   int retries = 0;     ///< attempts beyond the first
   int timeouts = 0;    ///< attempts that ended in kDeadlineExceeded
+  /// Extra attempts granted after a kResourceExhausted failure escalated
+  /// the global governor to Critical (at most one per run_with_retries).
+  int degraded_retries = 0;
   bool ok() const noexcept { return status.is_ok(); }
 };
 

@@ -34,6 +34,10 @@ bool is_retryable(StatusCode code) noexcept {
   }
 }
 
+bool is_retryable_with_degradation(StatusCode code) noexcept {
+  return code == StatusCode::kResourceExhausted;
+}
+
 std::string Status::to_string() const {
   std::string out{tl::to_string(code_)};
   if (!message_.empty()) {
@@ -62,6 +66,11 @@ Status classify_exception(std::exception_ptr error) {
   } catch (const PermanentError& e) {
     return Status{StatusCode::kInternal, e.what()};
   } catch (const std::bad_alloc& e) {
+    return Status{StatusCode::kResourceExhausted, e.what()};
+  } catch (const std::length_error& e) {
+    // length_error IS-A logic_error, but a container exceeding max_size is
+    // an allocation failure, not a code bug: classify before logic_error so
+    // it lands in the degraded-retry lane instead of the permanent one.
     return Status{StatusCode::kResourceExhausted, e.what()};
   } catch (const std::invalid_argument& e) {
     return Status{StatusCode::kInvalidArgument, e.what()};

@@ -29,8 +29,10 @@ enum class StatusCode : std::uint8_t {
   /// Transient storage failure (EIO, failed fsync, short write). Retryable:
   /// the durable protocol already treats these as "commit did not happen".
   kUnavailable,
-  /// Allocation failure. Not retryable — retrying under memory pressure
-  /// just thrashes.
+  /// Allocation failure (bad_alloc, length_error). Not blindly retryable —
+  /// retrying under the same memory pressure just thrashes — but retryable
+  /// *with degradation*: after the governor sheds detail
+  /// (record_allocation_failure pins Critical), one more attempt is sound.
   kResourceExhausted,
   /// A precondition was violated (std::invalid_argument and friends). Not
   /// retryable: the same call will fail the same way.
@@ -50,6 +52,12 @@ std::string_view to_string(StatusCode code) noexcept;
 /// Retry policy hook: transient codes may be re-attempted (with backoff),
 /// permanent ones go straight to bisection/quarantine.
 bool is_retryable(StatusCode code) noexcept;
+
+/// Codes that must NOT be retried as-is, but earn one more attempt after
+/// the resource governor has been told to degrade (currently only
+/// kResourceExhausted). The retry helpers consult this when a global
+/// govern::MemoryBudget is installed; without one the code stays permanent.
+bool is_retryable_with_degradation(StatusCode code) noexcept;
 
 /// A code plus human-readable context. Default-constructed Status is OK.
 class Status {
@@ -95,7 +103,10 @@ class PermanentError : public std::runtime_error {
 ///   io::IoError               -> kUnavailable          (retryable)
 ///   TransientError            -> kUnavailable          (retryable)
 ///   PermanentError            -> kInternal             (permanent)
-///   std::bad_alloc            -> kResourceExhausted    (permanent)
+///   std::bad_alloc            -> kResourceExhausted    (degraded-retryable)
+///   std::length_error         -> kResourceExhausted    (degraded-retryable;
+///                                 a container hitting max_size is an
+///                                 allocation failure in logic_error's coat)
 ///   std::invalid_argument     -> kInvalidArgument      (permanent)
 ///   std::logic_error          -> kInternal             (permanent)
 ///   anything else             -> kUnknown              (retryable, bounded)

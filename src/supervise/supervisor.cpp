@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "exec/sharded_runner.hpp"
+#include "govern/governor.hpp"
 #include "obs/scoped_timer.hpp"
 #include "util/rng.hpp"
 
@@ -125,6 +126,7 @@ struct StudySupervisor::ShardState {
   int attempt = 0;        ///< attempts in the current bisection round
   int total_attempts = 0;
   int bisection_rounds = 0;
+  bool degraded_retry_granted = false;  ///< the one post-escalation re-run
   std::vector<ShardAttempt> trail;
   Status round_status;
   std::unique_ptr<CancelToken> token = std::make_unique<CancelToken>();
@@ -352,6 +354,22 @@ DayReport StudySupervisor::run_day(int day, std::size_t item_count,
       }
 
       if (status.retryable() && st.attempt <= options_.max_retries) {
+        pending.push_back(shard);
+        continue;
+      }
+
+      // An allocation failure is not blindly retryable, but when a global
+      // governor is installed it earns exactly one re-run after the
+      // governor escalates to Critical (so the re-run executes with
+      // maximum shedding instead of re-failing the same way). Uncounted
+      // against the transient retry budget; recorded in the shard trail.
+      if (govern::MemoryBudget* governor = govern::global_governor();
+          governor != nullptr && !st.degraded_retry_granted &&
+          is_retryable_with_degradation(status.code())) {
+        governor->record_allocation_failure();
+        st.degraded_retry_granted = true;
+        ++report.degraded_retries;
+        ++summary_.degraded_retries;
         pending.push_back(shard);
         continue;
       }

@@ -87,6 +87,9 @@ struct DayReport {
   std::uint64_t retries = 0;   ///< attempts beyond each shard's first
   std::uint64_t timeouts = 0;  ///< attempts cancelled by the watchdog
   std::uint64_t bisection_probes = 0;
+  /// Shard re-runs granted after a kResourceExhausted failure escalated the
+  /// global governor (at most one per shard per day).
+  std::uint64_t degraded_retries = 0;
   std::vector<QuarantinedItem> quarantined;  ///< sorted by item id
   std::vector<ShardOutcome> outcomes;        ///< final outcome per shard
 
@@ -103,6 +106,7 @@ struct SupervisionSummary {
   std::uint64_t transient_failures = 0;
   std::uint64_t permanent_failures = 0;
   std::uint64_t bisection_probes = 0;
+  std::uint64_t degraded_retries = 0;  ///< governor-escalated shard re-runs
   QuarantineReport quarantine;  ///< cumulative, sorted by (item, day)
 };
 

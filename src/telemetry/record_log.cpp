@@ -92,7 +92,7 @@ RecordLog::RecordLog(io::FileSystem& fs, Options options)
   }
 }
 
-RecordLog::~RecordLog() = default;
+RecordLog::~RecordLog() { govern_account_.sub(accounted_bytes_); }
 
 std::string RecordLog::segment_name(std::uint32_t index) {
   char buf[32];
@@ -138,6 +138,22 @@ void RecordLog::resolve_obs() {
                      "Wall time per durable day commit (write + fsync)");
 }
 
+void RecordLog::sync_govern_account() {
+  const std::uint64_t epoch = govern::global_epoch();
+  if (epoch != govern_epoch_) {
+    govern_epoch_ = epoch;
+    govern_account_ = govern::account("wal_day_buffer");
+    accounted_bytes_ = 0;
+  }
+  const std::uint64_t bytes = day_buffer_.capacity();
+  if (bytes >= accounted_bytes_) {
+    govern_account_.add(bytes - accounted_bytes_);
+  } else {
+    govern_account_.sub(accounted_bytes_ - bytes);
+  }
+  accounted_bytes_ = bytes;
+}
+
 void RecordLog::write_segment_header(io::File& file, std::uint32_t index) {
   std::vector<std::uint8_t> header;
   header.reserve(kSegmentHeaderSize);
@@ -166,6 +182,9 @@ void RecordLog::append(const HandoverRecord& record) {
   encode_record(record, payload);
   append_frame(kRecordFrame, payload);
   ++buffered_records_;
+  // Cheap guard (capacity compare) on the hot path; the accountant is only
+  // touched when the buffer actually grew.
+  if (day_buffer_.capacity() != accounted_bytes_) sync_govern_account();
 }
 
 void RecordLog::commit_day(int day, std::span<const std::uint8_t> app_state) {
@@ -200,14 +219,22 @@ void RecordLog::commit_day(int day, std::span<const std::uint8_t> app_state) {
   segment_size_ += day_buffer_.size();
   committed_records_ += buffered_records_;
   last_committed_day_ = day;
-  day_buffer_.clear();
+  // Release the day buffer's capacity now that the day is durable: holding
+  // a committed day's worth of staging forever is exactly the unbounded
+  // footprint the governor exists to prevent. The swap cannot throw.
+  std::vector<std::uint8_t>().swap(day_buffer_);
+  sync_govern_account();
   buffered_records_ = 0;
   if (segment_size_ >= options_.max_segment_bytes) roll_segment();
   open_ = true;
 }
 
 void RecordLog::discard_day() noexcept {
-  day_buffer_.clear();
+  std::vector<std::uint8_t>().swap(day_buffer_);
+  // noexcept path: settle the accountant directly (no epoch re-resolution,
+  // which may allocate); every Accountant operation is noexcept.
+  govern_account_.sub(accounted_bytes_);
+  accounted_bytes_ = 0;
   buffered_records_ = 0;
 }
 
@@ -359,7 +386,8 @@ LogRecoveryReport RecordLog::open() {
   resolve_obs();
   open_ = false;
   current_.reset();
-  day_buffer_.clear();
+  std::vector<std::uint8_t>().swap(day_buffer_);
+  sync_govern_account();
   buffered_records_ = 0;
 
   fs_.create_directories(options_.directory);
@@ -476,7 +504,14 @@ TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& director
       // First entry into this segment: validate its header before trusting
       // any frame in it.
       if (size < kSegmentHeaderSize) {
-        result.state = TailState::kPending;  // writer mid-creation
+        // Shorter than a header: the writer is mid-creation — unless a
+        // successor segment exists. Segments are header-first and rolls are
+        // commit-aligned, so a short segment mid-chain can never grow (a
+        // crash at segment creation under ENOSPC leaves exactly this);
+        // report it torn so the reader does not wait on it forever.
+        result.state = fs.exists(directory + "/" + segment_name(seg + 1))
+                           ? TailState::kTorn
+                           : TailState::kPending;
         return result;
       }
       std::uint8_t header[kSegmentHeaderSize];

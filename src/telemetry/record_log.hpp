@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "govern/governor.hpp"
 #include "io/file.hpp"
 #include "obs/metrics.hpp"
 #include "telemetry/sinks.hpp"
@@ -206,6 +207,11 @@ class RecordLog {
   /// Epoch-checked obs handle refresh; called at open() and commit_day()
   /// (both single-threaded boundaries). Logs outlive registry swaps.
   void resolve_obs();
+  /// Epoch-checked governor accountant refresh plus day-buffer capacity
+  /// sync. Same boundaries as resolve_obs; on a governor swap the counted
+  /// bytes restart from zero against the new slot (the obs contract: the
+  /// old governor is gone, its totals with it).
+  void sync_govern_account();
 
   io::FileSystem& fs_;
   Options options_;
@@ -221,6 +227,10 @@ class RecordLog {
 
   std::vector<std::uint8_t> day_buffer_;  // framed records of the open day
   std::size_t buffered_records_ = 0;
+
+  govern::Accountant govern_account_;  // day-buffer capacity, "wal_day_buffer"
+  std::uint64_t govern_epoch_ = UINT64_MAX;
+  std::uint64_t accounted_bytes_ = 0;
 
   std::uint64_t obs_epoch_ = UINT64_MAX;
   obs::Counter obs_bytes_;

@@ -1,0 +1,38 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace tl::util {
+
+std::optional<std::uint64_t> parse_uint(std::string_view text,
+                                        std::uint64_t lo,
+                                        std::uint64_t hi) noexcept {
+  if (text.empty() || text.front() == '+' || text.front() == '-') {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  if (value < lo || value > hi) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text, double lo,
+                                   double hi) noexcept {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value,
+                      std::chars_format::general);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  if (!std::isfinite(value) || value < lo || value > hi) return std::nullopt;
+  return value;
+}
+
+}  // namespace tl::util

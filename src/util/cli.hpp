@@ -1,0 +1,31 @@
+#pragma once
+
+// Strict command-line value parsing for the example binaries.
+//
+// The drills and reports take numeric flags (--threads, --days, fault
+// rates); a mistyped value silently becoming 0 via atoi is exactly the kind
+// of operational foot-gun this repo's robustness work exists to remove.
+// These helpers parse the ENTIRE string (no trailing junk, no empty input,
+// no negative values sneaking through unsigned conversions) and range-check
+// the result; std::nullopt means "reject and print usage".
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tl::util {
+
+/// Parses a base-10 unsigned integer occupying the whole of `text`, then
+/// range-checks it against [lo, hi]. Rejects empty input, signs, whitespace,
+/// trailing characters, and overflow.
+std::optional<std::uint64_t> parse_uint(std::string_view text,
+                                        std::uint64_t lo = 0,
+                                        std::uint64_t hi = UINT64_MAX) noexcept;
+
+/// Parses a finite decimal number occupying the whole of `text`, then
+/// range-checks it against [lo, hi]. Rejects empty input, trailing
+/// characters, inf/nan, and hex floats.
+std::optional<double> parse_double(std::string_view text, double lo,
+                                   double hi) noexcept;
+
+}  // namespace tl::util

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/accumulator.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/hash.hpp"
 #include "util/sim_time.hpp"
@@ -146,6 +147,47 @@ TEST(TextTable, RejectsArityMismatch) {
 TEST(TextTable, NumberFormatting) {
   EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::pct(0.123456, 1), "12.3%");
+}
+
+TEST(CliParse, UintAcceptsWholeStringWithinRange) {
+  EXPECT_EQ(parse_uint("0"), 0u);
+  EXPECT_EQ(parse_uint("42"), 42u);
+  EXPECT_EQ(parse_uint("18446744073709551615"), UINT64_MAX);
+  // Boundaries of an explicit range are inclusive.
+  EXPECT_EQ(parse_uint("1", 1, 8), 1u);
+  EXPECT_EQ(parse_uint("8", 1, 8), 8u);
+}
+
+TEST(CliParse, UintRejectsJunkSignsOverflowAndRange) {
+  EXPECT_FALSE(parse_uint(""));
+  EXPECT_FALSE(parse_uint("+7"));   // signs are not silently tolerated
+  EXPECT_FALSE(parse_uint("-1"));   // would wrap through unsigned conversion
+  EXPECT_FALSE(parse_uint(" 3"));
+  EXPECT_FALSE(parse_uint("3 "));
+  EXPECT_FALSE(parse_uint("3x"));   // atoi would have said 3
+  EXPECT_FALSE(parse_uint("0x10"));
+  EXPECT_FALSE(parse_uint("18446744073709551616"));  // UINT64_MAX + 1
+  EXPECT_FALSE(parse_uint("0", 1, 8));
+  EXPECT_FALSE(parse_uint("9", 1, 8));
+}
+
+TEST(CliParse, DoubleAcceptsDecimalsWithinRange) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25", 0.0, 1.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("0", 0.0, 1.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_double("1", 0.0, 1.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(parse_double("2.5e-1", 0.0, 1.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("-0.5", -1.0, 1.0).value(), -0.5);
+}
+
+TEST(CliParse, DoubleRejectsJunkNonFiniteAndRange) {
+  EXPECT_FALSE(parse_double("", 0.0, 1.0));
+  EXPECT_FALSE(parse_double("0.5rate", 0.0, 1.0));
+  EXPECT_FALSE(parse_double(" 0.5", 0.0, 1.0));
+  EXPECT_FALSE(parse_double("nan", 0.0, 1.0));   // NaN passes no range check
+  EXPECT_FALSE(parse_double("inf", 0.0, 1e308));
+  EXPECT_FALSE(parse_double("1e999", 0.0, 1e308));  // overflows to rejection
+  EXPECT_FALSE(parse_double("1.01", 0.0, 1.0));
+  EXPECT_FALSE(parse_double("-0.01", 0.0, 1.0));
 }
 
 }  // namespace
