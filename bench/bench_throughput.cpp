@@ -27,10 +27,20 @@
 // across arms (metrics are observational only), and the metrics-on best run
 // may be at most TL_BENCH_OBS_GATE_PCT (default 2) percent slower than
 // metrics-off. TL_BENCH_OBS_REPS overrides the repetition count.
+//
+// --profile runs the same thread sweep with a durable WAL attached and a
+// metrics registry installed, and breaks each run's wall time into the
+// engine's stages — shard simulation, ordered merge, WAL day commits — from
+// the src/obs ScopedTimer histograms (tl_exec_shard_sim_seconds,
+// tl_exec_shard_merge_seconds, tl_wal_commit_seconds). Written into
+// BENCH_throughput.json with a "stages" object per thread count: the data
+// behind the flat-thread-scaling investigation (shard seconds are summed
+// across workers, so sim_s / threads vs. wall shows where the wall went).
 
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -39,6 +49,7 @@
 #include "bench_world.hpp"
 #include "core/simulator.hpp"
 #include "exec/thread_pool.hpp"
+#include "io/file.hpp"
 #include "obs/metrics.hpp"
 #include "obs/study_monitor.hpp"
 #include "supervise/supervisor.hpp"
@@ -159,6 +170,56 @@ StormMeasurement storm_run(tl::core::Simulator& sim, unsigned threads,
   return m;
 }
 
+struct StageSeconds {
+  double seconds = 0.0;      ///< histogram sum (shard stages: across workers)
+  std::uint64_t spans = 0;   ///< timed spans observed
+};
+
+struct ProfileMeasurement {
+  Measurement run;
+  StageSeconds shard_sim;    ///< per-shard simulation (0 on the serial path)
+  StageSeconds shard_merge;  ///< ordered shard merge (0 on the serial path)
+  StageSeconds wal_commit;   ///< WAL day commits (fsync + marker)
+};
+
+ProfileMeasurement profile_run(tl::core::Simulator& sim, unsigned threads,
+                               int days, std::uint64_t seed,
+                               std::uint64_t population,
+                               const std::filesystem::path& wal_dir) {
+  using namespace tl;
+  // A fresh registry per measurement: the stage sums cover exactly this run.
+  // Installing it bumps the obs epoch, so the engine re-resolves its handles
+  // at run() start; a fresh WAL directory per run because the log only
+  // commits days in increasing order and each run restarts at day 0.
+  obs::MetricsRegistry registry;
+  obs::ScopedGlobalRegistry install{&registry};
+
+  std::filesystem::remove_all(wal_dir);
+  telemetry::RecordLog::Options opt;
+  opt.directory = wal_dir.string();
+  telemetry::RecordLog log{io::StdioFileSystem::instance(), opt};
+  telemetry::DurableRecordSink durable{log};
+  sim.attach_durable_log(&durable);
+
+  ProfileMeasurement m;
+  m.run = timed_run(sim, threads, days, seed, population);
+  sim.remove_sink(&durable);
+
+  const obs::MetricsSnapshot snap = registry.scrape();
+  const auto stage = [&snap](const char* name) {
+    StageSeconds s;
+    if (const auto* h = snap.find_histogram(name)) {
+      s.seconds = h->sum;
+      s.spans = h->count;
+    }
+    return s;
+  };
+  m.shard_sim = stage("tl_exec_shard_sim_seconds");
+  m.shard_merge = stage("tl_exec_shard_merge_seconds");
+  m.wal_commit = stage("tl_wal_commit_seconds");
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,6 +228,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool resilience = false;
   bool obs_mode = false;
+  bool profile = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -175,11 +237,13 @@ int main(int argc, char** argv) {
       resilience = true;
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       obs_mode = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::cerr << "usage: bench_throughput [--smoke] [--resilience] [--obs]"
-                   " [--out PATH]\n";
+                   " [--profile] [--out PATH]\n";
       return 2;
     }
   }
@@ -359,6 +423,73 @@ int main(int argc, char** argv) {
            << ", \"retry_overhead_pct\": " << static_cast<std::int64_t>(overhead * 100)
            << ", \"seed\": " << cfg.seed << "}" << (i + 1 < storms.size() ? "," : "")
            << "\n";
+    }
+    json << "]\n";
+    if (!json) {
+      std::cerr << "[bench_throughput] FAIL: could not write " << out_path << "\n";
+      return 1;
+    }
+    std::cerr << "[bench_throughput] wrote " << out_path << "\n";
+    return 0;
+  }
+
+  if (profile) {
+    const std::filesystem::path wal_dir =
+        std::filesystem::temp_directory_path() / "tl_bench_profile_wal";
+    std::vector<ProfileMeasurement> profs;
+    for (const unsigned threads : sweep) {
+      const ProfileMeasurement p = profile_run(sim, threads, cfg.days, cfg.seed,
+                                               cfg.population.count, wal_dir);
+      std::cerr << "[bench_throughput] threads=" << threads
+                << " wall_ms=" << p.run.wall_ms
+                << " shard_sim_s=" << p.shard_sim.seconds
+                << " shard_merge_s=" << p.shard_merge.seconds
+                << " wal_commit_s=" << p.wal_commit.seconds << " crc=" << std::hex
+                << p.run.checksum << std::dec << "\n";
+      profs.push_back(p);
+    }
+    std::filesystem::remove_all(wal_dir);
+
+    // Determinism gate, as in the plain sweep: profiling must observe the
+    // same stream at every thread count.
+    for (const auto& p : profs) {
+      if (p.run.records != profs.front().run.records ||
+          p.run.checksum != profs.front().run.checksum) {
+        std::cerr << "[bench_throughput] FAIL: stream at " << p.run.threads
+                  << " threads differs from serial\n";
+        return 1;
+      }
+    }
+
+    std::ofstream json{out_path, std::ios::trunc};
+    json << "[\n";
+    for (std::size_t i = 0; i < profs.size(); ++i) {
+      const auto& p = profs[i];
+      const double wall_s = p.run.wall_ms / 1000.0;
+      // Shard stage sums accumulate across workers; dividing by the worker
+      // count gives the ideal (perfectly balanced) wall share. Merge and WAL
+      // run on the coordinating thread, so their sums are already wall.
+      const double sim_wall_s =
+          p.run.threads > 0
+              ? p.shard_sim.seconds / static_cast<double>(p.run.threads)
+              : p.shard_sim.seconds;
+      const double accounted =
+          sim_wall_s + p.shard_merge.seconds + p.wal_commit.seconds;
+      json << "  {\"threads\": " << p.run.threads
+           << ", \"wall_ms\": " << static_cast<std::uint64_t>(p.run.wall_ms)
+           << ", \"ue_days_per_sec\": "
+           << static_cast<std::uint64_t>(p.run.ue_days_per_sec)
+           << ", \"stages\": {"
+           << "\"shard_sim_s\": " << p.shard_sim.seconds
+           << ", \"shard_sim_spans\": " << p.shard_sim.spans
+           << ", \"shard_merge_s\": " << p.shard_merge.seconds
+           << ", \"shard_merge_spans\": " << p.shard_merge.spans
+           << ", \"wal_commit_s\": " << p.wal_commit.seconds
+           << ", \"wal_commit_spans\": " << p.wal_commit.spans
+           << ", \"accounted_wall_pct\": "
+           << (wall_s > 0 ? accounted / wall_s * 100.0 : 0.0) << "}"
+           << ", \"records\": " << p.run.records << ", \"seed\": " << cfg.seed
+           << "}" << (i + 1 < profs.size() ? "," : "") << "\n";
     }
     json << "]\n";
     if (!json) {

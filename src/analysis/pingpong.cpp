@@ -1,0 +1,56 @@
+#include "analysis/pingpong.hpp"
+
+#include <stdexcept>
+
+namespace tl::analysis {
+
+PingPongDetector::PingPongDetector(std::int64_t window_ms, std::size_t history_depth)
+    : window_ms_(window_ms), history_depth_(history_depth) {
+  if (window_ms < 0) throw std::invalid_argument{"PingPongDetector: negative window"};
+  if (history_depth == 0) throw std::invalid_argument{"PingPongDetector: zero depth"};
+}
+
+bool PingPongDetector::observe(const HandoverHop& hop) {
+  ++hops_;
+  UeHistory& h = by_ue_[hop.ue];
+  if (h.ring.empty()) h.ring.reserve(history_depth_);
+
+  // Match the most recent unconsumed reverse hop inside the window. Scanning
+  // newest-first makes A→B→A→B pair each bounce with its nearest reverse.
+  bool bounced = false;
+  const std::size_t n = h.ring.size();
+  for (std::size_t back = 0; back < n; ++back) {
+    const std::size_t idx = (h.next + n - 1 - back) % n;
+    Entry& e = h.ring[idx];
+    if (hop.time_ms - e.time_ms > window_ms_) break;  // ring is time-ordered
+    if (!e.consumed && e.from == hop.to && e.to == hop.from) {
+      e.consumed = true;
+      bounced = true;
+      break;
+    }
+  }
+  if (bounced) {
+    ++ping_pongs_;
+    if (h.ping_pongs == 0) ++bouncing_ues_;
+    ++h.ping_pongs;
+  }
+
+  Entry entry{hop.time_ms, hop.from, hop.to, false};
+  if (h.ring.size() < history_depth_) {
+    h.ring.push_back(entry);
+    h.next = h.ring.size() % history_depth_;
+  } else {
+    h.ring[h.next] = entry;
+    h.next = (h.next + 1) % history_depth_;
+  }
+  return bounced;
+}
+
+void PingPongDetector::reset() {
+  by_ue_.clear();
+  hops_ = 0;
+  ping_pongs_ = 0;
+  bouncing_ues_ = 0;
+}
+
+}  // namespace tl::analysis

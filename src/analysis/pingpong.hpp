@@ -1,0 +1,76 @@
+#pragma once
+
+// Ping-pong handover detection: rapid A→B→A re-handovers within a sliding
+// per-UE window (related work [15]'s "sub cell movement" pathology). The
+// detector is a standalone analysis utility over minimal hop tuples — no
+// telemetry dependency — so the experiment harness, ablation benches, and
+// unit tests all consume the same definition.
+//
+// Definition: a successful hop (from → to) at time t completes a ping-pong
+// iff the same UE executed the reverse hop (to → from) at some time t' with
+// t - t' <= window_ms. Each earlier hop can anchor at most one ping-pong (a
+// bounce consumes its reverse), so A→B→A→B counts two ping-pongs, not three.
+// Only successful handovers move the UE, so callers feed executed hops.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace tl::analysis {
+
+/// One executed (successful) handover of one UE.
+struct HandoverHop {
+  std::uint64_t ue = 0;
+  std::int64_t time_ms = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+class PingPongDetector {
+ public:
+  /// `window_ms`: how recent the reverse hop must be. `history_depth`: hops
+  /// remembered per UE (bounded state; the window logic prunes anyway —
+  /// depth only matters when many distinct hops land inside one window).
+  explicit PingPongDetector(std::int64_t window_ms = 5'000, std::size_t history_depth = 4);
+
+  /// Feeds one hop. Hops of the same UE must arrive in nondecreasing time
+  /// order (any interleaving across UEs is fine). Returns true iff this hop
+  /// completed a ping-pong.
+  bool observe(const HandoverHop& hop);
+
+  std::uint64_t hops() const noexcept { return hops_; }
+  std::uint64_t ping_pongs() const noexcept { return ping_pongs_; }
+  /// Share of hops that completed a ping-pong (0 when no hops).
+  double rate() const noexcept {
+    return hops_ == 0 ? 0.0 : static_cast<double>(ping_pongs_) / static_cast<double>(hops_);
+  }
+  /// UEs that completed at least one ping-pong.
+  std::uint64_t bouncing_ues() const noexcept { return bouncing_ues_; }
+
+  /// Drops all per-UE history and counters.
+  void reset();
+
+  std::int64_t window_ms() const noexcept { return window_ms_; }
+
+ private:
+  struct Entry {
+    std::int64_t time_ms = 0;
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    bool consumed = false;  ///< already anchored a ping-pong
+  };
+  struct UeHistory {
+    std::vector<Entry> ring;  ///< capacity history_depth, oldest overwritten
+    std::size_t next = 0;
+    std::uint64_t ping_pongs = 0;
+  };
+
+  std::int64_t window_ms_;
+  std::size_t history_depth_;
+  std::unordered_map<std::uint64_t, UeHistory> by_ue_;
+  std::uint64_t hops_ = 0;
+  std::uint64_t ping_pongs_ = 0;
+  std::uint64_t bouncing_ues_ = 0;
+};
+
+}  // namespace tl::analysis

@@ -11,6 +11,7 @@
 #include "devices/population.hpp"
 #include "faults/recovery.hpp"
 #include "geo/census.hpp"
+#include "policy/config.hpp"
 #include "ran/coverage.hpp"
 #include "topology/deployment.hpp"
 
@@ -43,6 +44,11 @@ struct StudyConfig {
 
   /// Emit per-UE-day mobility metrics to metrics sinks.
   bool collect_ue_metrics = true;
+
+  /// Handover decision policy (src/policy). The default calibrated baseline
+  /// reproduces the stock pipeline's record stream byte-for-byte; any other
+  /// kind is seeded-deterministic but produces its own stream.
+  policy::PolicyConfig policy;
 
   /// Ping-pong suppression (related work [15]: "sub cell movement
   /// detection"): the RAN holds a UE on its serving sector when the chosen

@@ -13,6 +13,7 @@
 #include "io/file.hpp"
 #include "mobility/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "policy/policies.hpp"
 #include "ran/propagation.hpp"
 #include "supervise/cancellation.hpp"
 #include "util/crc32c.hpp"
@@ -45,6 +46,16 @@ Simulator::Simulator(StudyConfig config)
   traces_ = std::make_unique<mobility::TraceGenerator>(*country_, activity_,
                                                        config_.seed * 31 + 11);
   selector_ = std::make_unique<ran::TargetSelector>(*deployment_, *coverage_);
+  locator_ = std::make_unique<ran::SectorLocator>(*deployment_, *selector_, energy_);
+  policy_ = policy::make_policy(config_.policy);
+  policy_env_.deployment = deployment_.get();
+  policy_env_.coverage = coverage_.get();
+  policy_env_.selector = selector_.get();
+  policy_env_.locator = locator_.get();
+  policy_env_.load = &load_model_;
+  policy_env_.seed = config_.seed;
+  policy_env_.suppress_ping_pong = config_.suppress_ping_pong;
+  policy_env_.ping_pong_window_ms = config_.ping_pong_window_ms;
 
   plans_.reserve(population_->size());
   for (const auto& ue : population_->ues()) plans_.push_back(traces_->plan_for(ue));
@@ -146,6 +157,7 @@ void Simulator::set_fault_schedule(const faults::FaultSchedule* schedule) {
   faults_ = schedule;
   energy_.set_availability_override(schedule);
   failure_model_.set_fault_schedule(schedule);
+  locator_->set_fault_schedule(schedule);
 }
 
 void Simulator::attach_durable_log(telemetry::DurableRecordSink* sink) {
@@ -339,6 +351,7 @@ bool Simulator::load_checkpoint(const std::string& path) {
 }
 
 void Simulator::resolve_obs() {
+  policy_->resolve_obs();  // own epoch guard
   const std::uint64_t epoch = obs::global_epoch();
   if (epoch == obs_epoch_) return;
   obs_epoch_ = epoch;
@@ -485,34 +498,6 @@ void Simulator::run_day_sharded(int day, unsigned threads) {
       });
 }
 
-topology::SectorId Simulator::locate_sector(const util::GeoPoint& position,
-                                            ObservedRat rat_class, const devices::Ue& ue,
-                                            int day, int bin, util::Rng& rng) const {
-  // Try the nearest few sites; a site may lack the requested layer.
-  const auto near = deployment_->site_index().nearest_k(position, 3);
-  for (const topology::SiteId site : near) {
-    const auto sector = selector_->pick_sector(site, rat_class, ue, rng);
-    if (!sector) continue;
-    const auto& s = deployment_->sector(*sector);
-    if (energy_.is_active(s, day, bin)) return *sector;
-    // Inactive: an asleep booster, or a scripted outage. Fall back to any
-    // active always-on sector of the same class on this site.
-    for (const topology::SectorId sid : deployment_->site(site).sectors) {
-      const auto& alt = deployment_->sector(sid);
-      if (!alt.capacity_booster && topology::observe(alt.rat) == rat_class &&
-          topology::supports(ue.rat_support, alt.rat) && energy_.is_active(alt, day, bin)) {
-        return sid;
-      }
-    }
-    // A plainly sleeping booster wakes for the HO; a faulted sector cannot —
-    // the outage suppresses this site and the UE tries the next-nearest one.
-    const bool faulted =
-        faults_ != nullptr && !faults_->empty() && faults_->forced_off(s, day, bin);
-    if (!faulted) return *sector;
-  }
-  return kInvalidSector;
-}
-
 void Simulator::simulate_legacy_ue_day(const devices::Ue& ue,
                                        const mobility::UePlan& plan, int day,
                                        EmitFrame& out) const {
@@ -581,14 +566,12 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
   std::uint32_t handovers = 0;
   std::uint32_t failures = 0;
   util::TimestampMs serving_since = t0;
-  // Ping-pong suppression state: the sector the UE most recently left.
-  topology::SectorId previous_serving = kInvalidSector;
-  util::TimestampMs last_ho_time = 0;
-  // Recovery state: a target whose retry chain was exhausted is temporarily
-  // barred (conn-establishment-failure-control style). Stays kInvalidSector
-  // while recovery modeling is disabled.
-  topology::SectorId barred_sector = kInvalidSector;
-  util::TimestampMs barred_until = 0;
+  // Per-UE-day policy state: ping-pong suppression + recovery barring fields
+  // maintained here, plus whatever the policy keeps privately. Fresh per
+  // UE-day, so days stay independent replay units under every policy and
+  // checkpoints carry no policy state.
+  policy::UeDayState pstate;
+  policy_->begin_ue_day(policy_env_, ue, day, pstate);
 
   const double voice_share = config_.voice_share[static_cast<std::size_t>(ue.type)];
 
@@ -600,24 +583,24 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
     const int bin = util::SimCalendar::half_hour_bin(event.time);
     const auto& source = deployment_->sector(serving);
 
-    // RAN decision: does this 4G/5G device stay horizontal or fall back?
+    // RAN decision: the policy decides whether this opportunity becomes a
+    // handover and toward which sector. The voice-activity draw stays on the
+    // main stream ahead of the call (every policy shares it).
     const bool voice_active = rng.chance(voice_share);
-    const geo::PostcodeId event_pc =
+    policy::HoOpportunity opp;
+    opp.ue = &ue;
+    opp.serving = serving;
+    opp.position = event.position;
+    opp.postcode =
         deployment_->site(deployment_->site_index().nearest(event.position)).postcode;
-    const ran::TargetDecision decision =
-        selector_->decide(ue, event_pc, voice_active, rng);
+    opp.time = event.time;
+    opp.day = day;
+    opp.bin = bin;
+    opp.voice_active = voice_active;
 
-    const topology::SectorId target =
-        locate_sector(event.position, decision.target_rat, ue, day, bin, rng);
-    if (target == kInvalidSector) continue;
-    if (target == serving) continue;  // no better cell: no HO this opportunity
-    // Sub-cell-movement detection: refuse to bounce straight back to the
-    // sector the UE just left (ping-pong suppression policy).
-    if (config_.suppress_ping_pong && target == previous_serving &&
-        event.time - last_ho_time <= config_.ping_pong_window_ms) {
-      continue;
-    }
-    if (target == barred_sector && event.time < barred_until) continue;
+    const policy::HoDecision decision = policy_->decide(policy_env_, opp, pstate, rng);
+    if (!decision.handover) continue;  // hold: no record, exactly the legacy skips
+    const topology::SectorId target = decision.target;
 
     const auto& target_sector = deployment_->sector(target);
     double overload = ran::LoadModel::overload_rejection_probability(
@@ -701,17 +684,20 @@ void Simulator::simulate_ue_day(const devices::Ue& ue, const mobility::UePlan& p
         if (!outcome.success) ++failures;
       }
       if (!outcome.success && config_.recovery.bar_failed_target_ms > 0) {
-        barred_sector = target;
-        barred_until = ho_time + config_.recovery.bar_failed_target_ms;
+        pstate.barred_sector = target;
+        pstate.barred_until = ho_time + config_.recovery.bar_failed_target_ms;
       }
     }
+
+    // Policy feedback once the attempt chain settles (penalty timers, ...).
+    policy_->on_outcome(policy_env_, opp, decision, outcome.success, pstate);
 
     if (outcome.success) {
       // Book the dwell on the sector we are leaving, then switch.
       metrics.add_visit(serving, deployment_->site(source.site).location,
                         static_cast<double>(ho_time - serving_since));
-      previous_serving = serving;
-      last_ho_time = ho_time;
+      pstate.previous_serving = serving;
+      pstate.last_ho_time = ho_time;
       serving = target;
       serving_since = ho_time;
       // Fallbacks are transient: the UE reselects back to 4G/5G before its

@@ -26,8 +26,10 @@
 #include "geo/country.hpp"
 #include "mobility/activity.hpp"
 #include "mobility/trace_generator.hpp"
+#include "policy/policy.hpp"
 #include "ran/coverage.hpp"
 #include "ran/load.hpp"
+#include "ran/sector_locator.hpp"
 #include "ran/target_selection.hpp"
 #include "telemetry/record_log.hpp"
 #include "telemetry/sinks.hpp"
@@ -158,6 +160,17 @@ class Simulator {
   const corenet::FailureModel& failure_model() const noexcept { return failure_model_; }
   const corenet::CauseCatalog& cause_catalog() const noexcept { return causes_; }
 
+  /// The handover decision policy (src/policy) consulted at every HO
+  /// opportunity, instantiated from config().policy at construction. The
+  /// default CalibratedBaselinePolicy replays the legacy decision sequence
+  /// byte-for-byte.
+  const policy::HandoverPolicy& policy() const noexcept { return *policy_; }
+  /// The const world view handed to the policy on every decision — exposed
+  /// so tests and tools can drive policies outside the hot loop.
+  const policy::PolicyEnv& policy_env() const noexcept { return policy_env_; }
+  /// The shared serving/target sector locator (also inside policy_env()).
+  const ran::SectorLocator& locator() const noexcept { return *locator_; }
+
   std::uint64_t records_emitted() const noexcept { return records_emitted_; }
 
  private:
@@ -196,11 +209,13 @@ class Simulator {
   /// and re-calibrates the coverage fallback probabilities on that volume.
   void calibrate_coverage();
   /// Serving/target sector on the site nearest `position` for the UE's RAT
-  /// class, honoring the energy-saving schedule. kInvalidSector if none.
+  /// class (delegates to the shared ran::SectorLocator).
   topology::SectorId locate_sector(const util::GeoPoint& position,
                                    topology::ObservedRat rat_class,
                                    const devices::Ue& ue, int day, int bin,
-                                   util::Rng& rng) const;
+                                   util::Rng& rng) const {
+    return locator_->locate(position, rat_class, ue, day, bin, rng);
+  }
   /// Epoch-checked obs handle refresh, called at the top of run_day (a
   /// single-threaded boundary). Simulators are long-lived — the throughput
   /// bench installs a registry after the world build — so handles cannot be
@@ -216,6 +231,11 @@ class Simulator {
   mobility::ActivityModel activity_;
   std::unique_ptr<mobility::TraceGenerator> traces_;
   std::unique_ptr<ran::TargetSelector> selector_;
+  std::unique_ptr<ran::SectorLocator> locator_;
+  std::unique_ptr<policy::HandoverPolicy> policy_;
+  /// Const world view the policy sees; rebuilt only when the fault schedule
+  /// changes (the referenced components are stable after construction).
+  policy::PolicyEnv policy_env_;
   ran::LoadModel load_model_;
   topology::EnergySavingPolicy energy_;
   corenet::FailureModel failure_model_;

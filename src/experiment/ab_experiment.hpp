@@ -1,0 +1,136 @@
+#pragma once
+
+// Deterministic A/B experiment harness over the handover policy engine.
+//
+// Runs policy A and policy B on the *same* seed/topology/population (each
+// arm rebuilds the identical world from the shared StudyConfig; only
+// StudyConfig::policy differs), feeds both record streams through the
+// existing analysis aggregators plus the analysis ping-pong detector, and
+// reduces everything into an ExperimentReport: HOF rate, →3G fallback
+// share, per-cause mix, ping-pong rate, district / urban-rural and hourly
+// breakdowns, with a serialized form that is byte-stable across runs and
+// thread counts (the record streams themselves are — see src/policy's
+// determinism contract — so everything reduced from them is too).
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "geo/district.hpp"
+#include "telemetry/aggregates.hpp"
+
+namespace tl::experiment {
+
+struct ExperimentConfig {
+  /// Shared world: scale, seed, days, population, ... — everything except
+  /// the policy, which is overridden per arm.
+  core::StudyConfig study;
+  policy::PolicyConfig policy_a;  ///< arm A (conventionally the baseline)
+  policy::PolicyConfig policy_b;
+  std::string label_a = "A";
+  std::string label_b = "B";
+  /// Window for the ping-pong-rate metric (A→B→A re-handovers).
+  std::int64_t ping_pong_window_ms = 5'000;
+};
+
+/// Everything one arm's record stream reduces to.
+struct ArmReport {
+  std::string label;
+  std::string policy;
+
+  std::uint64_t records = 0;     ///< HO attempts observed (== handovers)
+  std::uint64_t failures = 0;    ///< failed attempts (HOFs)
+  std::uint32_t stream_crc = 0;  ///< CRC32C over the encoded record stream
+
+  /// HO / HOF counts by target RAT class (indexed by topology::ObservedRat).
+  std::array<std::uint64_t, 3> by_target{};
+  std::array<std::uint64_t, 3> hof_by_target{};
+
+  /// Failure counts per dominant-cause bucket (CauseAggregator::kBuckets).
+  std::array<std::uint64_t, telemetry::CauseAggregator::kBuckets> cause_buckets{};
+
+  /// Urban/rural splits (indexed by geo::AreaType).
+  std::array<std::uint64_t, 2> area_handovers{};
+  std::array<std::uint64_t, 2> area_failures{};
+  /// Hour-of-day breakdown per area class: [area][hour].
+  std::array<std::array<std::uint64_t, 24>, 2> hourly_handovers{};
+  std::array<std::array<std::uint64_t, 24>, 2> hourly_failures{};
+
+  /// Per-district totals (index = DistrictId).
+  std::vector<std::uint64_t> district_handovers;
+  std::vector<std::uint64_t> district_failures;
+
+  /// Ping-pong metric (successful hops only).
+  std::uint64_t pp_hops = 0;
+  std::uint64_t ping_pongs = 0;
+  std::uint64_t bouncing_ues = 0;
+
+  double hof_rate() const noexcept {
+    return records == 0 ? 0.0
+                        : static_cast<double>(failures) / static_cast<double>(records);
+  }
+  /// Share of HOs targeting `rat` (the →3G fallback share, etc.).
+  double share_to(topology::ObservedRat rat) const noexcept {
+    return records == 0 ? 0.0
+                        : static_cast<double>(by_target[static_cast<std::size_t>(rat)]) /
+                              static_cast<double>(records);
+  }
+  double ping_pong_rate() const noexcept {
+    return pp_hops == 0 ? 0.0
+                        : static_cast<double>(ping_pongs) / static_cast<double>(pp_hops);
+  }
+  double hof_rate_in_hour(geo::AreaType area, int hour) const noexcept;
+  double area_hof_rate(geo::AreaType area) const noexcept;
+  /// Hour of day with the most handovers in `area` (ties: earliest hour).
+  int peak_hour(geo::AreaType area) const noexcept;
+};
+
+struct ExperimentReport {
+  std::uint64_t seed = 0;
+  int days = 0;
+  std::int64_t ping_pong_window_ms = 5'000;
+  ArmReport a;
+  ArmReport b;
+
+  /// Relative change of B vs A, in percent (0 when A's value is 0).
+  static double delta_pct(double a_value, double b_value) noexcept {
+    return a_value == 0.0 ? 0.0 : (b_value - a_value) / a_value * 100.0;
+  }
+
+  /// Peak-hour HOF comparison on one area class. The peak hour is chosen
+  /// from arm A's volume so both arms are compared over the same hour.
+  struct PeakHourDiff {
+    int hour = 0;
+    double a_rate = 0.0;
+    double b_rate = 0.0;
+    double delta_pct = 0.0;
+  };
+  PeakHourDiff peak_hour_diff(geo::AreaType area) const noexcept;
+
+  /// Byte-stable machine form: fixed-order "key value" lines (CI's
+  /// determinism gate diffs two of these).
+  void serialize(std::ostream& os) const;
+  /// Human-readable side-by-side tables plus headline deltas.
+  void print(std::ostream& os) const;
+};
+
+class AbExperiment {
+ public:
+  explicit AbExperiment(ExperimentConfig config) : config_(std::move(config)) {}
+
+  /// Runs both arms (A first) and reduces the report. Each arm honors
+  /// config.study.threads — the reduced report is invariant under it.
+  ExperimentReport run();
+
+  const ExperimentConfig& config() const noexcept { return config_; }
+
+ private:
+  ArmReport run_arm(const policy::PolicyConfig& policy, const std::string& label);
+
+  ExperimentConfig config_;
+};
+
+}  // namespace tl::experiment

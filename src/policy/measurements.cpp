@@ -1,0 +1,48 @@
+#include "policy/measurements.hpp"
+
+#include <cmath>
+
+namespace tl::policy {
+
+namespace {
+
+/// Stable shadowing term in [-1, 1): keyed hash of (seed, sector, ue,
+/// day/bin), no generator state.
+double shadow_unit(std::uint64_t seed, topology::SectorId sector, devices::UeId ue,
+                   int day, int bin) noexcept {
+  const std::uint64_t slot =
+      static_cast<std::uint64_t>(day) * 48u + static_cast<std::uint64_t>(bin);
+  const std::uint64_t h = util::derive_seed(seed, 0x5bad0u, sector,
+                                            static_cast<std::uint64_t>(ue) ^ (slot << 40));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return 2.0 * u - 1.0;
+}
+
+}  // namespace
+
+double measured_rsrp_dbm(const PolicyEnv& env, const HoOpportunity& opp,
+                         topology::SectorId sector) noexcept {
+  const auto& s = env.deployment->sector(sector);
+  const auto& site = env.deployment->site(s.site);
+  const ran::CoverageProfile& profile = env.coverage->at(s.postcode);
+  const double dist_km = util::distance_km(opp.position, site.location);
+  // Coverage median at typical distance, log-distance decay past ~500 m,
+  // ±4 dB stable shadowing.
+  const double path = 28.0 * std::log10(1.0 + dist_km / 0.5);
+  const double shadow =
+      4.0 * shadow_unit(env.seed, sector, opp.ue->id, opp.day, opp.bin);
+  return profile.median_rsrp_4g_dbm - path + shadow;
+}
+
+ran::CellMeasurement measure_cell(const PolicyEnv& env, const HoOpportunity& opp,
+                                  topology::SectorId sector) noexcept {
+  ran::CellMeasurement m;
+  m.sector = sector;
+  m.rsrp_dbm = measured_rsrp_dbm(env, opp, sector);
+  // RSRQ proxy: interference rises with the sector's modeled utilization.
+  const auto& s = env.deployment->sector(sector);
+  m.rsrq_db = -10.0 - 8.0 * env.load->utilization(s, opp.day, opp.bin);
+  return m;
+}
+
+}  // namespace tl::policy

@@ -1,0 +1,28 @@
+#pragma once
+
+// Synthetic UE measurement feed for measurement-driven policies.
+//
+// The calibrated pipeline never materializes per-cell RSRP — fallback and
+// failure behaviour are driven by calibrated marginals — so policies that
+// want A2/A3-style reasoning get a lazily synthesized measurement: coverage
+// median for the sector's postcode, a distance-dependent decay toward the
+// site, a stable keyed shadowing term, and an RSRQ proxy from the sector's
+// modeled utilization. Everything is a pure function of (env.seed, sector,
+// ue, day, bin): no RNG stream is consumed, so requesting a measurement can
+// never perturb the simulation's draw sequence — the baseline policy simply
+// never asks.
+
+#include "policy/policy.hpp"
+#include "ran/measurement.hpp"
+
+namespace tl::policy {
+
+/// RSRP (dBm) the opportunity's UE would report for `sector`.
+double measured_rsrp_dbm(const PolicyEnv& env, const HoOpportunity& opp,
+                         topology::SectorId sector) noexcept;
+
+/// Full measurement entry (RSRP + utilization-derived RSRQ proxy).
+ran::CellMeasurement measure_cell(const PolicyEnv& env, const HoOpportunity& opp,
+                                  topology::SectorId sector) noexcept;
+
+}  // namespace tl::policy
