@@ -36,6 +36,9 @@
 // BENCH_throughput.json with a "stages" object per thread count: the data
 // behind the flat-thread-scaling investigation (shard seconds are summed
 // across workers, so sim_s / threads vs. wall shows where the wall went).
+// At 1 thread the serial day loop books one whole-population span per day
+// into the shard-sim family, so the single-thread baseline row carries a
+// real breakdown instead of zeros.
 
 #include <chrono>
 #include <cstdint>
@@ -177,7 +180,9 @@ struct StageSeconds {
 
 struct ProfileMeasurement {
   Measurement run;
-  StageSeconds shard_sim;    ///< per-shard simulation (0 on the serial path)
+  /// Per-shard simulation. The serial path records one whole-population
+  /// span per day into the same family, so this is populated at 1 thread.
+  StageSeconds shard_sim;
   StageSeconds shard_merge;  ///< ordered shard merge (0 on the serial path)
   StageSeconds wal_commit;   ///< WAL day commits (fsync + marker)
 };

@@ -1,0 +1,293 @@
+// Scrub drill: end-to-end storage-integrity demonstration on a mirrored
+// record WAL. A study writes the log (every sealed segment mirrored at seal
+// time), then seeded bit rot is injected and the drill proves the three
+// layers of src/telemetry/scrub.hpp in order:
+//
+//   1. Detection  — LogScrubber finds every injected defect (a sealed
+//      segment is CRC-covered on every byte, so a single flipped bit can
+//      never pass).
+//   2. Read-repair — with one surviving replica, LogIntegrity restores the
+//      damaged copy and the repaired file's CRC32C must equal the clean
+//      oracle's, byte for byte. A WalTailer over the repaired chain must
+//      converge to the batch oracle's serialized aggregates.
+//   3. Certified degradation — with BOTH replicas of a segment damaged, the
+//      segment is quarantined; the tailer skips it, finishes in state
+//      kQuarantined, and its loss ledger must account for the hole exactly:
+//      records delivered + records certified lost == records written, with
+//      the accounting flagged exact and persisted in the (v2) checkpoint.
+//
+//   $ scrub_drill [trials] [seed]
+//
+// Exit codes: 0 = every verdict passed; 1 = a detection, repair, or
+// accounting verdict failed; 2 = bad usage.
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_codec.hpp"
+#include "core/simulator.hpp"
+#include "io/faulty_file.hpp"
+#include "io/file.hpp"
+#include "serve/stream_aggregates.hpp"
+#include "serve/wal_tailer.hpp"
+#include "telemetry/record_log.hpp"
+#include "telemetry/scrub.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void copy_dir(const std::string& from, const std::string& to) {
+  std::filesystem::create_directories(to);
+  auto& fsys = tl::io::StdioFileSystem::instance();
+  for (const auto& name : fsys.list(from, "wal-")) {
+    std::filesystem::copy_file(from + "/" + name, to + "/" + name,
+                               std::filesystem::copy_options::overwrite_existing);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tl;
+
+  int trials = 12;
+  std::uint64_t seed = 20260808;
+  if (argc > 1) {
+    const auto parsed = util::parse_uint(argv[1], 1, 100000);
+    if (!parsed) {
+      std::cerr << "error: bad trials: " << argv[1] << "\n"
+                << "usage: " << argv[0] << " [trials 1..100000] [seed]\n";
+      return 2;
+    }
+    trials = static_cast<int>(*parsed);
+  }
+  if (argc > 2) {
+    const auto parsed = util::parse_uint(argv[2]);
+    if (!parsed) {
+      std::cerr << "error: bad seed: " << argv[2] << "\n"
+                << "usage: " << argv[0] << " [trials 1..100000] [seed]\n";
+      return 2;
+    }
+    seed = *parsed;
+  }
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "tl_scrub_drill").string();
+  std::filesystem::remove_all(root);
+  auto& real = io::StdioFileSystem::instance();
+
+  // --- phase 1: a study writes the mirrored WAL -----------------------------
+  core::StudyConfig config = core::StudyConfig::test_scale();
+  config.days = 6;
+  config.population.count = 300;
+
+  telemetry::RecordLog::Options wal_opt;
+  wal_opt.directory = root + "/wal";
+  wal_opt.mirror_directory = root + "/mirror";
+  wal_opt.max_segment_bytes = 24 * 1024;
+  wal_opt.write_chunk_bytes = 1024;
+
+  std::cout << "Building country and deployment...\n";
+  core::Simulator sim{config};
+  core::DayCheckpoint day0;
+  day0.seed = config.seed;
+  std::uint64_t total_records = 0;
+  {
+    telemetry::RecordLog log{real, wal_opt};
+    telemetry::DurableRecordSink sink{log};
+    log.open();
+    sim.restore(day0);
+    sim.attach_durable_log(&sink);
+    sim.run();
+    sim.remove_sink(&sink);
+    total_records = log.committed_records();
+  }
+  const std::vector<std::string> segments = real.list(wal_opt.directory, "wal-");
+  const std::size_t sealed = segments.size() - 1;  // tail is never mirrored
+  std::cout << "Writer: " << total_records << " records over " << config.days
+            << " days, " << segments.size() << " segments (" << sealed
+            << " sealed + mirrored)\n";
+  if (sealed < 2) {
+    std::cerr << "FAIL: need at least 2 sealed segments for the drill\n";
+    return 1;
+  }
+
+  // Seal-time mirroring verdict + per-segment CRC oracle.
+  std::vector<std::uint32_t> oracle_crc(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    oracle_crc[i] =
+        telemetry::file_crc32c(real, wal_opt.directory + "/" + segments[i]);
+    if (i < sealed &&
+        telemetry::file_crc32c(
+            real, wal_opt.mirror_directory + "/" + segments[i]) != oracle_crc[i]) {
+      std::cerr << "FAIL: mirror of " << segments[i]
+                << " is not byte-identical to its primary\n";
+      return 1;
+    }
+  }
+
+  // Batch oracle for the stream-equivalence verdicts.
+  serve::StreamAggregates::Options agg_opt;
+  agg_opt.window_days = 4;
+  agg_opt.sketch_k = 128;
+  serve::StreamAggregates oracle{agg_opt};
+  telemetry::RecordLog::replay(real, wal_opt.directory, oracle);
+  std::vector<std::uint8_t> oracle_bytes;
+  oracle.serialize(oracle_bytes);
+
+  // A clean chain must scrub clean (and scrub must be free of side effects).
+  telemetry::LogScrubber scrubber{
+      real, {wal_opt.directory, wal_opt.mirror_directory}};
+  const telemetry::ScrubReport clean_scan = scrubber.run();
+  if (!clean_scan.clean()) {
+    std::cerr << "FAIL: clean chain reported " << clean_scan.defects.size()
+              << " defect(s)\n";
+    return 1;
+  }
+  std::cout << "Clean scrub: " << clean_scan.segments_scanned << " segments, "
+            << clean_scan.bytes_scanned << " bytes, "
+            << clean_scan.records_scanned << " records verified, 0 defects\n";
+
+  const auto make_options = [&](const std::string& dir) {
+    serve::WalTailer::Options o;
+    o.wal_directory = dir + "/wal";
+    o.checkpoint_path = dir + "/serve.ckpt";
+    o.mirror_directory = dir + "/mirror";
+    o.window_days = agg_opt.window_days;
+    o.sketch_k = agg_opt.sketch_k;
+    o.checkpoint_every_days = 1;
+    // One poll spans the whole chain, so the poll that crosses a quarantined
+    // hole also finishes the stream and surfaces kQuarantined directly.
+    o.max_days_per_poll = 64;
+    return o;
+  };
+  const auto drain = [](serve::WalTailer& tailer) {
+    serve::WalTailer::PollResult r;
+    do {
+      r = tailer.poll();
+    } while (r.state == telemetry::TailState::kMore ||
+             r.state == telemetry::TailState::kPending);
+    return r;
+  };
+
+  // --- phase 2: single-copy bit rot -> detect, repair, verify ---------------
+  util::TextTable table{{"Trial", "Copy", "Segment", "Offset", "Detected",
+                         "Repaired", "CRC", "Stream"}};
+  int failures = 0;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng rng = util::Rng::derive(seed, static_cast<std::uint64_t>(t));
+    const std::string dir = root + "/single_" + std::to_string(t);
+    copy_dir(wal_opt.directory, dir + "/wal");
+    copy_dir(wal_opt.mirror_directory, dir + "/mirror");
+
+    const bool hit_mirror = rng.chance(0.5);
+    const std::size_t victim = rng.below(sealed);
+    const std::string victim_path = dir + (hit_mirror ? "/mirror/" : "/wal/") +
+                                    segments[victim];
+    const std::uint64_t offset = rng.below(real.file_size(victim_path));
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << rng.below(8));
+    io::inject_bit_rot(real, victim_path, offset, mask);
+
+    telemetry::LogScrubber scrubber{real, {dir + "/wal", dir + "/mirror"}};
+    const telemetry::ScrubReport report = scrubber.run();
+    const bool detected = !report.clean();
+
+    telemetry::LogIntegrity integrity{real, {dir + "/wal", dir + "/mirror"}};
+    const telemetry::IntegrityReport repair = integrity.check_and_repair();
+    const bool repaired = repair.fully_repaired() && repair.repaired_any();
+    const bool crc_ok =
+        telemetry::file_crc32c(real, victim_path) == oracle_crc[victim];
+
+    // Stream verdict: a fresh tailer over the repaired chain must match the
+    // batch oracle bit for bit (a wrong byte would change the aggregates).
+    serve::WalTailer tailer{real, make_options(dir)};
+    tailer.open();
+    const serve::WalTailer::PollResult r = drain(tailer);
+    std::vector<std::uint8_t> bytes;
+    tailer.aggregates().serialize(bytes);
+    const bool stream_ok =
+        r.state == telemetry::TailState::kClean && bytes == oracle_bytes;
+
+    if (!(detected && repaired && crc_ok && stream_ok)) ++failures;
+    table.add_row({std::to_string(t), hit_mirror ? "mirror" : "primary",
+                   segments[victim], std::to_string(offset),
+                   detected ? "yes" : "NO", repaired ? "yes" : "NO",
+                   crc_ok ? "match" : "DIFFERS", stream_ok ? "oracle" : "NO"});
+  }
+  util::print_section(std::cout, "Single-copy bit rot: detect -> read-repair");
+  table.print(std::cout);
+
+  // --- phase 3: both copies damaged -> certified quarantine -----------------
+  util::print_section(std::cout, "Double fault: certified quarantine");
+  bool quarantine_ok = false;
+  {
+    util::Rng rng = util::Rng::derive(seed, 0x0ddfau);
+    const std::string dir = root + "/double";
+    copy_dir(wal_opt.directory, dir + "/wal");
+    copy_dir(wal_opt.mirror_directory, dir + "/mirror");
+    // Interior victims only (a marker anchor on both sides): a hole at the
+    // chain head leaves the first lost day unknowable, and one at the end
+    // stays deferred until the writer's next commit.
+    std::vector<std::size_t> interior;
+    for (std::size_t s = 1; s < sealed; ++s) {
+      if (clean_scan.audits[s].last_day < clean_scan.last_day) {
+        interior.push_back(s);
+      }
+    }
+    if (interior.empty()) {
+      std::cerr << "FAIL: no interior sealed segment to quarantine\n";
+      return 1;
+    }
+    const std::size_t victim = interior[rng.below(interior.size())];
+    for (const char* side : {"/wal/", "/mirror/"}) {
+      const std::string path = dir + side + segments[victim];
+      io::inject_bit_rot(real, path, rng.below(real.file_size(path)),
+                         static_cast<std::uint8_t>(1u << rng.below(8)));
+    }
+
+    serve::WalTailer tailer{real, make_options(dir)};
+    tailer.open();
+    const serve::WalTailer::PollResult r = drain(tailer);
+    std::vector<std::uint8_t> bytes;
+    tailer.aggregates().serialize(bytes);
+    const std::uint64_t delivered = tailer.cursor().records;
+    const bool accounted =
+        tailer.loss_accounting_exact() &&
+        delivered == total_records &&  // adopted totals span the hole
+        tailer.records_lost() > 0 &&
+        tailer.days_lost() > 0;
+
+    // Checkpoint (v2) round trip: a cold restart must rehydrate the same
+    // ledger and report the stream degraded without re-reading the hole.
+    serve::WalTailer restart{real, make_options(dir)};
+    restart.open();
+    const serve::WalTailer::PollResult rr = restart.poll();
+    const bool restart_ok =
+        restart.quarantined_segments() == tailer.quarantined_segments() &&
+        restart.records_lost() == tailer.records_lost() &&
+        restart.days_lost() == tailer.days_lost() &&
+        restart.loss_accounting_exact() && rr.days_delivered == 0;
+
+    quarantine_ok = r.state == telemetry::TailState::kQuarantined &&
+                    accounted && restart_ok;
+    std::cout << "quarantined " << segments[victim] << ": certified "
+              << tailer.records_lost() << " records / " << tailer.days_lost()
+              << " day(s) lost (days " << tailer.loss_first_day() << ".."
+              << tailer.loss_last_day() << "), accounting "
+              << (tailer.loss_accounting_exact() ? "exact" : "INEXACT")
+              << "\nstate: " << telemetry::to_string(r.state)
+              << ", restart ledger " << (restart_ok ? "matches" : "DIFFERS")
+              << "\n";
+    if (!quarantine_ok) ++failures;
+  }
+
+  std::cout << "\n" << (trials + 1 - failures) << "/" << (trials + 1)
+            << " verdicts passed\n";
+  std::filesystem::remove_all(root);
+  return failures == 0 ? 0 : 1;
+}

@@ -362,6 +362,7 @@ void Simulator::resolve_obs() {
     obs_records_ = obs::Counter{};
     obs_quarantined_ = obs::Gauge{};
     obs_day_seconds_ = obs::Histogram{};
+    obs_serial_sim_seconds_ = obs::Histogram{};
     return;
   }
   obs_days_ = reg->counter("tl_sim_days_total", "Study days simulated");
@@ -375,6 +376,14 @@ void Simulator::resolve_obs() {
       reg->histogram("tl_sim_day_seconds",
                      obs::MetricsRegistry::latency_edges_s(),
                      "Wall time per simulated study day");
+  // Same family ShardedDayRunner records its worker spans into (registration
+  // is idempotent by name): the serial path books its whole UE loop here, so
+  // stage accounting — and the throughput bench's --profile breakdown — is
+  // populated at 1 thread too instead of silently reading zero.
+  obs_serial_sim_seconds_ =
+      reg->histogram("tl_exec_shard_sim_seconds",
+                     obs::MetricsRegistry::latency_edges_s(),
+                     "Worker-side simulate time per shard");
 }
 
 void Simulator::run_day(int day) {
@@ -426,20 +435,29 @@ void Simulator::run_day(int day) {
 }
 
 void Simulator::run_day_serial(int day) {
+  // The serial path is one shard covering the whole population; booking it
+  // into the shard-sim family keeps the stage breakdown comparable across
+  // thread counts (1 thread = 1 span per day).
+  obs::ScopedTimer sim_span{obs_serial_sim_seconds_};
   EmitFrame out;
   out.core = &core_;
   out.sinks = {sinks_.data(), sinks_.size()};
   out.metrics_sinks = {metrics_sinks_.data(), metrics_sinks_.size()};
-  for (const auto& ue : population_->ues()) {
-    if (is_quarantined(ue.id)) continue;
-    // Only 4G/5G-capable devices produce records at the EPC observation
-    // point (§8): legacy-only UEs handover inside 2G/3G, which the MME
-    // never sees — but their mobility metrics still exist network-side.
-    if (topology::supports(ue.rat_support, topology::Rat::kG4)) {
-      simulate_ue_day(ue, plans_[ue.id], day, out);
-    } else if (config_.collect_ue_metrics && !metrics_sinks_.empty()) {
-      simulate_legacy_ue_day(ue, plans_[ue.id], day, out);
+  try {
+    for (const auto& ue : population_->ues()) {
+      if (is_quarantined(ue.id)) continue;
+      // Only 4G/5G-capable devices produce records at the EPC observation
+      // point (§8): legacy-only UEs handover inside 2G/3G, which the MME
+      // never sees — but their mobility metrics still exist network-side.
+      if (topology::supports(ue.rat_support, topology::Rat::kG4)) {
+        simulate_ue_day(ue, plans_[ue.id], day, out);
+      } else if (config_.collect_ue_metrics && !metrics_sinks_.empty()) {
+        simulate_legacy_ue_day(ue, plans_[ue.id], day, out);
+      }
     }
+  } catch (...) {
+    sim_span.cancel();  // aborted days stay out of the profile (as run_day)
+    throw;
   }
   records_emitted_ += out.records;
 }

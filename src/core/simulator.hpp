@@ -271,6 +271,9 @@ class Simulator {
   obs::Counter obs_records_;
   obs::Gauge obs_quarantined_;
   obs::Histogram obs_day_seconds_;
+  /// Serial-path span recorded into the shared "tl_exec_shard_sim_seconds"
+  /// family so --profile stage accounting works at 1 thread too.
+  obs::Histogram obs_serial_sim_seconds_;
 };
 
 }  // namespace tl::core

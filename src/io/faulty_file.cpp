@@ -11,6 +11,8 @@ const char* to_string(IoFaultKind kind) noexcept {
     case IoFaultKind::kIoError: return "io error";
     case IoFaultKind::kSyncFailure: return "sync failure";
     case IoFaultKind::kCrash: return "crash";
+    case IoFaultKind::kBitRot: return "bit rot";
+    case IoFaultKind::kReadError: return "read error";
   }
   return "?";
 }
@@ -32,6 +34,20 @@ IoFaultPlan IoFaultPlan::chaos(std::uint64_t seed, std::uint64_t horizon_ops,
   return plan;
 }
 
+IoFaultPlan IoFaultPlan::read_chaos(std::uint64_t seed, std::uint64_t horizon_ops,
+                                    double fault_rate) {
+  IoFaultPlan plan;
+  if (horizon_ops == 0 || fault_rate <= 0.0) return plan;
+  util::Rng rng = util::Rng::derive(seed, 0xb17507ULL);
+  for (std::uint64_t op = 0; op < horizon_ops; ++op) {
+    if (rng.chance(fault_rate)) {
+      plan.add(op, rng.below(2) == 0 ? IoFaultKind::kBitRot
+                                     : IoFaultKind::kReadError);
+    }
+  }
+  return plan;
+}
+
 const IoFault* IoFaultPlan::at(std::uint64_t op_index) const noexcept {
   // Plans are built in ascending op order; binary search keeps the per-op
   // cost negligible even for dense transient schedules.
@@ -49,8 +65,10 @@ class FaultyFile;
 struct FaultyFileSystem::State {
   FileSystem& inner;
   IoFaultPlan plan;
+  IoFaultPlan read_plan;
   util::Rng rng;
   std::uint64_t ops = 0;
+  std::uint64_t read_ops = 0;
   bool dead = false;
   std::atomic<bool> disk_full{false};
   std::vector<IoFault> fired;
@@ -66,6 +84,13 @@ struct FaultyFileSystem::State {
   /// Consumes one mutating-op tick; returns the fault scheduled for it.
   const IoFault* tick() {
     const IoFault* fault = plan.at(ops++);
+    if (fault != nullptr) fired.push_back(*fault);
+    return fault;
+  }
+
+  /// Consumes one read-op tick against the read plan.
+  const IoFault* read_tick() {
+    const IoFault* fault = read_plan.at(read_ops++);
     if (fault != nullptr) fired.push_back(*fault);
     return fault;
   }
@@ -123,13 +148,38 @@ class FaultyFile final : public File {
         written_size_ += inner_->write(data, keep);
         state_->crash();
       }
+      case IoFaultKind::kBitRot:
+      case IoFaultKind::kReadError: {
+        // Read-side kinds are inert in a write plan: the write succeeds.
+        const std::size_t n = inner_->write(data, size);
+        written_size_ += n;
+        return n;
+      }
     }
     return 0;  // unreachable
   }
 
   std::size_t read(void* data, std::size_t size) override {
     state_->ensure_alive();
-    return inner_->read(data, size);
+    const IoFault* fault = state_->read_tick();
+    if (fault == nullptr) return inner_->read(data, size);
+    switch (fault->kind) {
+      case IoFaultKind::kBitRot: {
+        // The bytes on disk are fine; what came off the wire is not.
+        const std::size_t n = inner_->read(data, size);
+        if (n > 0) {
+          const std::uint64_t bit = state_->rng.below(n * 8);
+          static_cast<std::uint8_t*>(data)[bit / 8] ^=
+              static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        return n;
+      }
+      case IoFaultKind::kCrash:
+        state_->crash();
+      default:
+        throw IoError{"injected " + std::string{to_string(fault->kind)} +
+                      " on read of " + path_};
+    }
   }
 
   void seek(std::uint64_t offset) override {
@@ -280,10 +330,44 @@ bool FaultyFileSystem::disk_full() const noexcept {
   return state_->disk_full.load(std::memory_order_relaxed);
 }
 
+void FaultyFileSystem::set_read_fault_plan(IoFaultPlan plan) noexcept {
+  state_->read_plan = std::move(plan);
+}
+
 std::uint64_t FaultyFileSystem::ops() const noexcept { return state_->ops; }
+std::uint64_t FaultyFileSystem::read_ops() const noexcept {
+  return state_->read_ops;
+}
 bool FaultyFileSystem::dead() const noexcept { return state_->dead; }
 const std::vector<IoFault>& FaultyFileSystem::fired() const noexcept {
   return state_->fired;
+}
+
+void inject_bit_rot(FileSystem& fs, const std::string& path,
+                    std::uint64_t offset, std::uint8_t mask) {
+  if (mask == 0) throw IoError{"inject_bit_rot: zero mask would be a no-op"};
+  const std::uint64_t size = fs.file_size(path);
+  if (offset >= size) {
+    throw IoError{"inject_bit_rot: offset " + std::to_string(offset) +
+                  " past end of " + path};
+  }
+  std::vector<std::uint8_t> bytes(size);
+  {
+    auto file = fs.open(path, OpenMode::kRead);
+    std::size_t have = 0;
+    while (have < bytes.size()) {
+      const std::size_t n = file->read(bytes.data() + have, bytes.size() - have);
+      if (n == 0) throw IoError{"inject_bit_rot: short read of " + path};
+      have += n;
+    }
+  }
+  bytes[offset] ^= mask;
+  auto file = fs.open(path, OpenMode::kTruncate);
+  if (file->write(bytes.data(), bytes.size()) != bytes.size()) {
+    throw IoError{"inject_bit_rot: short write of " + path};
+  }
+  file->sync();
+  file->close();
 }
 
 }  // namespace tl::io

@@ -22,6 +22,19 @@
 // The chaos harness wraps the durable pipeline in one of these, lets it die
 // at a scheduled point, then re-opens the *real* filesystem to verify that
 // recovery restores a consistent prefix of the record stream.
+//
+// Read-side faults live on a SEPARATE plan with its own op counter (every
+// read() on any file advances it), so read fault schedules compose with the
+// write-side plans without perturbing their time base:
+//
+//  - kBitRot:    the read succeeds but one seeded bit of the returned buffer
+//                is flipped (transient media error / bad cable; the file on
+//                disk is untouched).
+//  - kReadError: the read throws IoError (EIO on the read path).
+//
+// Persistent latent corruption — the storage-integrity scrubber's actual
+// prey — is injected with inject_bit_rot(), which flips bits in the file
+// itself through any FileSystem without consuming fault-plan ops.
 
 #include <cstdint>
 #include <memory>
@@ -38,6 +51,8 @@ enum class IoFaultKind : std::uint8_t {
   kIoError,
   kSyncFailure,
   kCrash,
+  kBitRot,     ///< read-plan only: flip one seeded bit in the returned bytes
+  kReadError,  ///< read-plan only: the read throws IoError
 };
 
 const char* to_string(IoFaultKind kind) noexcept;
@@ -65,6 +80,12 @@ class IoFaultPlan {
   /// (seed, horizon) always yields the same plan.
   static IoFaultPlan chaos(std::uint64_t seed, std::uint64_t horizon_ops,
                            double transient_rate = 0.0);
+
+  /// Seeded READ-side plan: kBitRot / kReadError faults at the given per-op
+  /// rate over [0, horizon_ops) of the read-op counter; no crash. The same
+  /// (seed, horizon, rate) always yields the same plan.
+  static IoFaultPlan read_chaos(std::uint64_t seed, std::uint64_t horizon_ops,
+                                double fault_rate);
 
   /// The fault scheduled at `op_index`, or nullptr.
   const IoFault* at(std::uint64_t op_index) const noexcept;
@@ -101,8 +122,16 @@ class FaultyFileSystem final : public FileSystem {
   void set_disk_full(bool full) noexcept;
   bool disk_full() const noexcept;
 
+  /// Installs (or replaces) the read-side fault plan. Read faults are keyed
+  /// to a dedicated read-op counter so they never shift the mutating-op time
+  /// base of the write plan. kBitRot flips one seeded bit in the bytes a
+  /// read returns; kReadError / kIoError throw; kCrash kills the filesystem.
+  void set_read_fault_plan(IoFaultPlan plan) noexcept;
+
   /// Mutating operations performed so far (the fault-plan time base).
   std::uint64_t ops() const noexcept;
+  /// Read operations performed so far (the read-fault-plan time base).
+  std::uint64_t read_ops() const noexcept;
   /// True once a kCrash fault has fired; every subsequent operation throws
   /// SimulatedCrash.
   bool dead() const noexcept;
@@ -116,5 +145,15 @@ class FaultyFileSystem final : public FileSystem {
  private:
   std::shared_ptr<State> state_;
 };
+
+/// Persistent latent corruption: XORs `mask` into the byte at `offset` of
+/// the file at `path`, in place, through `fs` (read-modify-write of the
+/// whole file plus sync — the scrub chaos harness only rots small segment
+/// files). `mask` must be non-zero and `offset` in range; throws IoError
+/// otherwise. Unlike the read plan's kBitRot this damages the bytes on
+/// disk, exactly like decayed media, so every later reader sees it until
+/// read-repair restores the segment.
+void inject_bit_rot(FileSystem& fs, const std::string& path,
+                    std::uint64_t offset, std::uint8_t mask);
 
 }  // namespace tl::io

@@ -75,6 +75,26 @@ class WalTailer {
     /// Days delivered per poll() before reporting kMore, bounding the time
     /// between cancellation checks in a supervised loop.
     std::uint64_t max_days_per_poll = 64;
+    /// Mirror chain of the WAL (RecordLog::Options::mirror_directory of the
+    /// writer). When set, a torn/corrupt follow triggers a storage-integrity
+    /// pass: damaged sealed segments are restored from their mirror replica
+    /// (read-repair) before the poll is retried; segments damaged in both
+    /// copies are quarantined with certified accounting instead of wedging
+    /// the tailer. Retention deletes mirror segments in lockstep with their
+    /// primaries. Empty: no redundancy — sealed damage goes straight to
+    /// certified quarantine.
+    std::string mirror_directory;
+    /// Proactive scrub cadence: after this many newly delivered days, run a
+    /// detection+repair pass even though nothing failed — latent rot is
+    /// found (and repaired from the mirror) before a reader ever trips on
+    /// it. 0 disables; the cadence is deterministic in the delivered-day
+    /// count, never wall clock.
+    std::uint64_t scrub_every_days = 0;
+    /// Strict mode: certified data loss (a newly quarantined segment)
+    /// throws supervise::DataLossError (-> StatusCode::kDataLoss) instead
+    /// of degrading. For consumers that would rather halt than serve a
+    /// stream with a hole, however well-accounted.
+    bool fail_on_data_loss = false;
   };
 
   /// `fs` is borrowed and must outlive the tailer.
@@ -94,6 +114,11 @@ class WalTailer {
     std::uint64_t records_delivered = 0;
     bool checkpointed = false;
     std::uint64_t segments_retired = 0;
+    /// Storage-integrity activity during this poll.
+    std::uint64_t scrubs_run = 0;
+    std::uint64_t segments_repaired = 0;      ///< restored from a replica
+    std::uint64_t segments_quarantined = 0;   ///< newly certified lost
+    std::uint64_t records_quarantined = 0;    ///< skipped past this poll
   };
 
   /// One tail pass: follow + (maybe) checkpoint + (maybe) retention.
@@ -121,6 +146,23 @@ class WalTailer {
   StreamAggregates::WindowReport report() const { return aggregates_.report(); }
   const Options& options() const noexcept { return options_; }
 
+  /// Certified-loss ledger (persisted in the checkpoint, v2): segments the
+  /// reader skips, and the exact day/record accounting of what they held.
+  const std::vector<std::uint32_t>& quarantined_segments() const noexcept {
+    return quarantined_;
+  }
+  std::uint64_t records_lost() const noexcept { return records_lost_; }
+  std::uint64_t days_lost() const noexcept { return days_lost_; }
+  bool loss_accounting_exact() const noexcept { return loss_exact_; }
+  int loss_first_day() const noexcept { return loss_first_day_; }
+  int loss_last_day() const noexcept { return loss_last_day_; }
+
+  /// Runs a storage-integrity pass now (scrub + read-repair + quarantine),
+  /// independent of the cadence. Returns true when it repaired or newly
+  /// quarantined anything. Throws supervise::DataLossError on new
+  /// quarantine when fail_on_data_loss is set.
+  bool scrub_now();
+
   // --- checkpoint wire format (exposed for tests) ---
   static constexpr char kCheckpointMagic[8] = {'T', 'L', 'S', 'R',
                                                'V', 'C', 'P', '1'};
@@ -128,6 +170,9 @@ class WalTailer {
  private:
   void load_checkpoint(const std::string& path);
   std::uint64_t retire_segments();
+  /// One integrity pass; merges repairs/quarantine into the tailer state and
+  /// (optionally) the poll result. Returns true when anything changed.
+  bool run_integrity(PollResult* result);
   /// Epoch-checked obs handle refresh (open() and poll() boundaries).
   void resolve_obs();
   /// Epoch-checked governor refresh; on a governor swap the accountant is
@@ -149,7 +194,17 @@ class WalTailer {
   telemetry::LogCursor durable_cursor_;
   bool have_checkpoint_ = false;  ///< durable_cursor_ is backed by a file
   std::uint64_t days_since_checkpoint_ = 0;
+  std::uint64_t days_since_scrub_ = 0;
+  bool ledger_dirty_ = false;  ///< loss ledger changed since last checkpoint
   StreamAggregates aggregates_;
+
+  /// Certified-loss state (checkpoint v2 payload).
+  std::vector<std::uint32_t> quarantined_;  // ascending
+  std::uint64_t records_lost_ = 0;
+  std::uint64_t days_lost_ = 0;
+  bool loss_exact_ = true;
+  int loss_first_day_ = -1;
+  int loss_last_day_ = -1;
 
   govern::MemoryBudget* governor_ = nullptr;
   govern::Accountant govern_account_;  // "serve_aggregates"

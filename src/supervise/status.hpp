@@ -45,6 +45,12 @@ enum class StatusCode : std::uint8_t {
   kUnknown,
   /// Supervision itself gave up (retries and bisection exhausted).
   kAborted,
+  /// Committed data is unrecoverable: every replica of a WAL range is
+  /// damaged and read-repair certified the loss (exact day/record
+  /// accounting travels in the message / RepairEvent). Not retryable — the
+  /// bytes are gone; the caller decides whether a quarantined-range study
+  /// is still a study.
+  kDataLoss,
 };
 
 std::string_view to_string(StatusCode code) noexcept;
@@ -97,9 +103,20 @@ class PermanentError : public std::runtime_error {
   explicit PermanentError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when storage integrity certifies that committed data is gone:
+/// both the primary and the mirror copy of a sealed WAL range are damaged.
+/// Maps to kDataLoss (permanent). Defined inline so the telemetry/serve
+/// layers can throw it with only this header (tl_supervise links tl_exec
+/// links tl_telemetry — a link edge back up would be a cycle).
+class DataLossError : public std::runtime_error {
+ public:
+  explicit DataLossError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Maps an in-flight exception to a Status:
 ///
 ///   CancelledError            -> its embedded code (kCancelled / kDeadlineExceeded)
+///   DataLossError             -> kDataLoss             (permanent, certified)
 ///   io::IoError               -> kUnavailable          (retryable)
 ///   TransientError            -> kUnavailable          (retryable)
 ///   PermanentError            -> kInternal             (permanent)

@@ -5,7 +5,10 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <algorithm>
+
 #include "obs/scoped_timer.hpp"
+#include "telemetry/scrub.hpp"
 #include "util/crc32c.hpp"
 
 namespace tl::telemetry {
@@ -77,6 +80,7 @@ const char* to_string(TailState state) noexcept {
     case TailState::kPending: return "pending";
     case TailState::kTorn: return "torn";
     case TailState::kMore: return "more";
+    case TailState::kQuarantined: return "quarantined";
   }
   return "?";
 }
@@ -238,9 +242,20 @@ void RecordLog::discard_day() noexcept {
   buffered_records_ = 0;
 }
 
+void RecordLog::mirror_sealed_segment(std::uint32_t index) {
+  if (options_.mirror_directory.empty()) return;
+  copy_file_atomic(fs_, segment_path(index),
+                   options_.mirror_directory + "/" + segment_name(index));
+}
+
 void RecordLog::roll_segment() {
   current_->close();
   current_.reset();
+  // The seal point: the segment will never change again, so this is where
+  // its durable replica is cut. A failure here propagates (the day is
+  // already committed on the primary; the caller re-opens and open()'s
+  // integrity pass redoes the mirror catch-up).
+  mirror_sealed_segment(segment_index_);
   ++segment_index_;
   current_ = fs_.open(segment_path(segment_index_), io::OpenMode::kTruncate);
   write_segment_header(*current_, segment_index_);
@@ -391,6 +406,20 @@ LogRecoveryReport RecordLog::open() {
   buffered_records_ = 0;
 
   fs_.create_directories(options_.directory);
+  if (!options_.mirror_directory.empty()) {
+    fs_.create_directories(options_.mirror_directory);
+    // Integrity pass BEFORE the recovery scan: restore any latently damaged
+    // sealed primary from its clean mirror and catch the mirror up (covers
+    // a crash between seal and mirror copy). Without this, a single flipped
+    // bit in a sealed segment would make scan() truncate every committed
+    // day after it. Segments damaged in BOTH copies stay damaged — the
+    // writer's certified fallback is truncate-and-regenerate, which the
+    // scan below performs; certified *skipping* is the reader's job
+    // (follow() + FollowOptions::quarantined).
+    LogIntegrity{fs_, ScrubOptions{options_.directory,
+                                   options_.mirror_directory}}
+        .check_and_repair();
+  }
   LogRecoveryReport report;
 
   const Scan s = scan(fs_, options_.directory, nullptr);
@@ -465,6 +494,23 @@ std::vector<HandoverRecord> RecordLog::read_all(io::FileSystem& fs,
 TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& directory,
                                  LogCursor& cursor, RecordSink& sink,
                                  std::uint64_t max_days) {
+  FollowOptions options;
+  options.max_days = max_days;
+  return follow(fs, directory, cursor, sink, options);
+}
+
+TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& directory,
+                                 LogCursor& cursor, RecordSink& sink,
+                                 const FollowOptions& options) {
+  const std::uint64_t max_days = options.max_days;
+  const auto is_quarantined = [&options](std::uint32_t segment) {
+    return std::binary_search(options.quarantined.begin(),
+                              options.quarantined.end(), segment);
+  };
+  // True between skipping a quarantined segment and the next delivered
+  // marker: that marker's cumulative total is adopted (with a plausibility
+  // floor) instead of verified, and the gap it reveals is accounted.
+  bool pending_adopt = false;
   TailReadResult result;
   const std::vector<std::string> names = fs.list(directory, "wal-");
   if (names.empty()) return result;  // no log yet: caught up by definition
@@ -493,6 +539,22 @@ TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& director
   std::uint64_t pos = cursor.offset;
 
   while (true) {
+    if (is_quarantined(seg)) {
+      // Certified loss: skip the whole segment without reading a byte. The
+      // durable cursor does NOT move (it only rests past delivered markers);
+      // the next surviving marker both re-anchors the totals and accounts
+      // for the hole. Days never span segments, so a skip always lands on a
+      // day boundary — no partial day can leak out of it.
+      result.quarantine_skipped = true;
+      pending_adopt = true;
+      if (!fs.exists(directory + "/" + segment_name(seg + 1))) {
+        result.state = TailState::kQuarantined;  // hole reaches the end
+        return result;
+      }
+      seg += 1;
+      pos = 0;
+      continue;
+    }
     const std::string path = directory + "/" + segment_name(seg);
     if (!fs.exists(path)) {
       if (cursor.fresh()) return result;  // chain raced away; nothing to do
@@ -538,10 +600,19 @@ TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& director
     std::vector<HandoverRecord> pending;  // records of the not-yet-marked day
     std::vector<std::uint8_t> buf;
     while (offset < size) {
+      // A frame running past end-of-file is a write still in flight — but
+      // only in the newest segment. Sealed segments never grow (rolls are
+      // commit-aligned), so the same truncation mid-chain is damage (e.g.
+      // rot in a length field) that waiting can never heal.
+      const auto truncated = [&] {
+        return fs.exists(directory + "/" + segment_name(seg + 1))
+                   ? TailState::kTorn
+                   : TailState::kPending;
+      };
       std::uint8_t fh[kFrameHeaderSize];
       if (offset + kFrameHeaderSize > size ||
           file->read(fh, sizeof fh) != sizeof fh) {
-        result.state = TailState::kPending;  // header still being written
+        result.state = truncated();
         return result;
       }
       const std::uint32_t len = get_u32(fh);
@@ -552,12 +623,12 @@ TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& director
         return result;
       }
       if (offset + kFrameHeaderSize + len > size) {
-        result.state = TailState::kPending;  // payload still being written
+        result.state = truncated();
         return result;
       }
       buf.resize(len);
       if (file->read(buf.data(), len) != len) {
-        result.state = TailState::kPending;
+        result.state = truncated();
         return result;
       }
       std::uint32_t crc = util::crc32c(&type, 1);
@@ -581,9 +652,16 @@ TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& director
                             path};
         }
         if (in_day != pending.size() ||
-            (have_total && total != cursor.records + in_day)) {
+            (!pending_adopt && have_total && total != cursor.records + in_day)) {
           throw io::IoError{"record log corrupt: marker record counts disagree "
                             "with the frames preceding it (" +
+                            path + ")"};
+        }
+        if (pending_adopt && have_total && total < cursor.records + in_day) {
+          // Even across a hole the chain can only have grown: a total below
+          // what the cursor already consumed is corruption, not loss.
+          throw io::IoError{"record log corrupt: marker total ran backwards "
+                            "across a quarantined range (" +
                             path + ")"};
         }
         if (result.days_delivered == max_days) {
@@ -596,6 +674,28 @@ TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& director
         for (const HandoverRecord& r : pending) sink.consume(r);
         sink.on_day_end(day);
         pending.clear();
+        if (pending_adopt) {
+          // First surviving marker past a quarantined hole: its cumulative
+          // total quantifies exactly what the hole swallowed. Committed
+          // together with the cursor advance, so a re-poll that skips the
+          // same hole never double-counts.
+          if (have_total) {
+            result.records_quarantined += total - in_day - cursor.records;
+          } else {
+            result.quarantine_exact = false;  // pruned-chain base anchor gone
+          }
+          if (cursor.day >= 0) {
+            result.days_quarantined +=
+                static_cast<std::uint64_t>(day - cursor.day - 1);
+            if (result.quarantine_first_day < 0) {
+              result.quarantine_first_day = cursor.day + 1;
+            }
+            result.quarantine_last_day = day - 1;
+          } else {
+            result.quarantine_exact = false;  // first lost day unknowable
+          }
+          pending_adopt = false;
+        }
         cursor.day = day;
         cursor.records = total;
         cursor.segment = seg;
@@ -622,7 +722,13 @@ TailReadResult RecordLog::follow(io::FileSystem& fs, const std::string& director
       return result;
     }
     const std::string next = directory + "/" + segment_name(seg + 1);
-    if (!fs.exists(next)) return result;  // kClean: caught up with the writer
+    if (!fs.exists(next)) {
+      // Caught up with the writer. A clean catch-up that skipped certified
+      // holes is reported as such: complete where it counts, degraded where
+      // it was certified to be.
+      if (result.quarantine_skipped) result.state = TailState::kQuarantined;
+      return result;
+    }
     seg += 1;
     pos = 0;  // validate the new header at the top of the loop
   }

@@ -90,9 +90,23 @@ enum class TailState : std::uint8_t {
                ///< frame, bad length, foreign frame type): they can never
                ///< become a valid commit; writer recovery will drop them
   kMore,       ///< stopped at max_days with committed data still unread
+  kQuarantined,  ///< caught up, but quarantined segments were skipped on the
+                 ///< way: the stream is certified-degraded, not complete
 };
 
 const char* to_string(TailState state) noexcept;
+
+/// Knobs for follow() beyond the cursor itself.
+struct FollowOptions {
+  /// Days delivered per call before reporting kMore.
+  std::uint64_t max_days = UINT64_MAX;
+  /// Sealed segments certified lost by storage integrity (both replicas
+  /// damaged; ascending, as produced by LogIntegrity). follow() skips them
+  /// without reading a byte, adopts the next surviving marker's cumulative
+  /// total, and reports the skipped range — days_quarantined /
+  /// records_quarantined are exact whenever the anchor markers survive.
+  std::span<const std::uint32_t> quarantined;
+};
 
 struct TailReadResult {
   TailState state = TailState::kClean;
@@ -101,6 +115,14 @@ struct TailReadResult {
   /// Checkpoint payload embedded in the newest marker delivered (empty when
   /// none was, or the writer committed without app state).
   std::vector<std::uint8_t> last_app_state;
+  /// Quarantine accounting for this call (non-zero only when quarantined
+  /// segments were actually skipped between the cursor and the end).
+  bool quarantine_skipped = false;   ///< at least one segment was skipped
+  std::uint64_t days_quarantined = 0;
+  std::uint64_t records_quarantined = 0;
+  bool quarantine_exact = true;  ///< false when an anchor marker is missing
+  int quarantine_first_day = -1;
+  int quarantine_last_day = -1;
 };
 
 class RecordLog {
@@ -113,6 +135,14 @@ class RecordLog {
     /// Commits stream the day buffer in chunks of this size, so a crash can
     /// land between any two chunks (more torn-write surface for chaos).
     std::size_t write_chunk_bytes = 4096;
+    /// Opt-in segment mirroring: when set, every segment is copied here at
+    /// seal time (tmp + fsync + rename, read back and CRC-verified), and
+    /// open() first runs a storage-integrity pass — restoring any damaged
+    /// sealed primary from its clean mirror (and catching the mirror up)
+    /// BEFORE recovery scans the chain, so a single-copy latent defect
+    /// never costs committed days. The active tail segment is not mirrored
+    /// (its torn-tail story is recovery + deterministic regeneration).
+    std::string mirror_directory;
   };
 
   /// `fs` is borrowed and must outlive the log.
@@ -182,6 +212,18 @@ class RecordLog {
                                LogCursor& cursor, RecordSink& sink,
                                std::uint64_t max_days = UINT64_MAX);
 
+  /// follow() with certified-degradation support: segments listed in
+  /// `options.quarantined` are skipped without being read, delivery resumes
+  /// at the next surviving day, and the result carries the skipped range's
+  /// exact day/record accounting (anchored on the marker totals around the
+  /// hole). A call that skipped anything and would otherwise be kClean
+  /// reports kQuarantined — the caller knows the stream is degraded, never
+  /// wrong. Accounting for a skip whose closing anchor has not landed yet
+  /// is deferred to the poll that first delivers a day past the hole.
+  static TailReadResult follow(io::FileSystem& fs, const std::string& directory,
+                               LogCursor& cursor, RecordSink& sink,
+                               const FollowOptions& options);
+
   // --- wire format (exposed for tests and the design doc) ---
   static constexpr char kMagic[8] = {'T', 'L', 'W', 'A', 'L', 'O', 'G', '1'};
   static constexpr std::size_t kSegmentHeaderSize = 16;  // magic + index + crc
@@ -202,6 +244,9 @@ class RecordLog {
                    RecordSink* sink);
   void append_frame(std::uint8_t type, std::span<const std::uint8_t> payload);
   void roll_segment();
+  /// Seal-time mirroring: copies the just-sealed segment into
+  /// mirror_directory (atomic + CRC-verified). No-op when mirroring is off.
+  void mirror_sealed_segment(std::uint32_t index);
   void write_segment_header(io::File& file, std::uint32_t index);
   std::string segment_path(std::uint32_t index) const;
   /// Epoch-checked obs handle refresh; called at open() and commit_day()
