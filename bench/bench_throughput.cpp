@@ -33,16 +33,35 @@
 // engine's stages — shard simulation, ordered merge, WAL day commits — from
 // the src/obs ScopedTimer histograms (tl_exec_shard_sim_seconds,
 // tl_exec_shard_merge_seconds, tl_wal_commit_seconds). Written into
-// BENCH_throughput.json with a "stages" object per thread count: the data
-// behind the flat-thread-scaling investigation (shard seconds are summed
-// across workers, so sim_s / threads vs. wall shows where the wall went).
-// At 1 thread the serial day loop books one whole-population span per day
-// into the shard-sim family, so the single-thread baseline row carries a
-// real breakdown instead of zeros.
+// BENCH_throughput.json with a "stages" object per thread count. Stage span
+// sums accumulate across concurrent workers, so they are AGGREGATE seconds
+// (reported as aggregate_s / aggregate_cpu_s), not wall time; the separate
+// *_wall_share_pct fields give the ideal-balance wall-normalized share
+// (sim / threads, merge and WAL as-is) so the breakdown is interpretable at
+// every thread count — summing raw spans against wall used to report >100%.
+// Each arm also carries shards_per_day: the serial path books one
+// whole-population span per day into the shard-sim family while sharded
+// arms book one per shard, so span counts are only comparable through that
+// label. True process CPU per run (cpu_ms, from std::clock) sits next to
+// wall_ms — on an oversubscribed machine concurrent wall spans double-count
+// descheduled time, and cpu_ms is what exposes real work inflation.
+//
+// Scaling gates (both the plain sweep and --profile; TL_BENCH_SCALING_GATE=0
+// disables): arms the hardware can actually run in parallel
+// (hardware_concurrency >= threads) must scale — in --smoke the 2-thread arm
+// must not lose to serial, full runs require 2 threads >= 1.5x serial
+// (TL_BENCH_SPEEDUP2_GATE) and >= 70% efficiency at 4 threads
+// (TL_BENCH_EFF4_GATE). On every machine, including single-core CI boxes
+// where wall speedup is physically impossible, the 2-thread arm's process
+// CPU may not exceed serial by more than TL_BENCH_INFLATION_GATE (default
+// 1.25x) — the detector for the copy-merge / per-day-reallocation class of
+// serialization regressions that once made sharded runs SLOWER than serial.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -86,6 +105,7 @@ class ChecksumSink final : public tl::telemetry::RecordSink {
 struct Measurement {
   unsigned threads = 1;
   double wall_ms = 0.0;
+  double cpu_ms = 0.0;  ///< process CPU (all threads), from std::clock
   double ue_days_per_sec = 0.0;
   double records_per_sec = 0.0;
   std::uint64_t records = 0;
@@ -100,15 +120,19 @@ Measurement timed_run(tl::core::Simulator& sim, unsigned threads, int days,
   sim.set_threads(threads);
   sim.restore(day0);
   sim.add_sink(&sink);
+  const std::clock_t cpu_start = std::clock();
   const auto start = std::chrono::steady_clock::now();
   sim.run();
   const auto stop = std::chrono::steady_clock::now();
+  const std::clock_t cpu_stop = std::clock();
   sim.remove_sink(&sink);
 
   Measurement m;
   m.threads = threads;
   m.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
+  m.cpu_ms = static_cast<double>(cpu_stop - cpu_start) * 1000.0 /
+             static_cast<double>(CLOCKS_PER_SEC);
   const double wall_s = m.wall_ms / 1000.0;
   const double ue_days = static_cast<double>(population) * days;
   m.ue_days_per_sec = wall_s > 0 ? ue_days / wall_s : 0.0;
@@ -116,6 +140,71 @@ Measurement timed_run(tl::core::Simulator& sim, unsigned threads, int days,
   m.records_per_sec = wall_s > 0 ? static_cast<double>(m.records) / wall_s : 0.0;
   m.checksum = sink.checksum();
   return m;
+}
+
+/// Best-of-N wrapper: re-runs the identical deterministic workload and keeps
+/// the min-wall measurement (the standard scheduler-noise filter). Stream
+/// bytes are identical across reps by construction, so keeping one run's
+/// records/crc loses nothing.
+Measurement best_timed_run(tl::core::Simulator& sim, unsigned threads, int days,
+                           std::uint64_t seed, std::uint64_t population,
+                           int reps) {
+  Measurement best = timed_run(sim, threads, days, seed, population);
+  for (int r = 1; r < reps; ++r) {
+    const Measurement m = timed_run(sim, threads, days, seed, population);
+    if (m.wall_ms < best.wall_ms) best = m;
+  }
+  return best;
+}
+
+/// The scaling gates described in the header comment. `results` must start
+/// with the serial (1-thread) arm. Returns false (after printing why) when a
+/// gate fails. Wall-clock gates apply only to arms the hardware can truly run
+/// in parallel; the CPU-inflation gate applies everywhere — a 1-core box
+/// cannot show speedup, but it can still prove the sharded path does not do
+/// materially more WORK than serial.
+bool check_scaling_gates(const std::vector<Measurement>& results, bool smoke,
+                         unsigned hw) {
+  if (tl::bench::env_double("TL_BENCH_SCALING_GATE", 1.0) == 0.0) {
+    std::cerr << "[bench_throughput] scaling gates disabled via env\n";
+    return true;
+  }
+  const Measurement& serial = results.front();
+  const double speedup2_gate = tl::bench::env_double("TL_BENCH_SPEEDUP2_GATE", 1.5);
+  const double eff4_gate = tl::bench::env_double("TL_BENCH_EFF4_GATE", 0.70);
+  const double inflation_gate =
+      tl::bench::env_double("TL_BENCH_INFLATION_GATE", 1.25);
+  bool ok = true;
+  for (const auto& m : results) {
+    if (m.threads == 1) continue;
+    const double speedup = m.wall_ms > 0 ? serial.wall_ms / m.wall_ms : 0.0;
+    const double efficiency = speedup / m.threads;
+    const double inflation = serial.cpu_ms > 0 ? m.cpu_ms / serial.cpu_ms : 1.0;
+    std::cerr << "[bench_throughput] threads=" << m.threads << " speedup="
+              << speedup << " efficiency=" << efficiency
+              << " cpu_inflation=" << inflation << (hw < m.threads
+              ? " (oversubscribed: wall gates skipped)" : "") << "\n";
+    if (m.threads == 2 && inflation > inflation_gate) {
+      std::cerr << "[bench_throughput] FAIL: 2-thread process CPU is "
+                << inflation << "x serial (gate " << inflation_gate
+                << "x) — the sharded path is doing extra work\n";
+      ok = false;
+    }
+    if (hw < m.threads) continue;  // wall speedup physically unavailable
+    if (m.threads == 2) {
+      const double gate = smoke ? 1.0 : speedup2_gate;
+      if (speedup < gate) {
+        std::cerr << "[bench_throughput] FAIL: 2-thread speedup " << speedup
+                  << " below the " << gate << "x gate\n";
+        ok = false;
+      }
+    } else if (m.threads == 4 && !smoke && efficiency < eff4_gate) {
+      std::cerr << "[bench_throughput] FAIL: 4-thread efficiency " << efficiency
+                << " below the " << eff4_gate << " gate\n";
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 struct StormMeasurement {
@@ -258,12 +347,17 @@ int main(int argc, char** argv) {
   }
 
   // Fixed mid-size config: big enough that the per-UE-day work dominates
-  // the merge, small enough that a 4-point thread sweep stays in minutes.
+  // the merge AND the per-day fixed costs (pool spin-up, shard dispatch) —
+  // 20k UEs x 2 days left those fixed costs visible in the 2-thread arm.
+  // Three days also means days 2..N run on the warm reused shard slab, the
+  // steady state a four-week study actually lives in.
   core::StudyConfig cfg = bench::bench_config();
-  cfg.days = static_cast<int>(bench::env_double("TL_BENCH_DAYS", smoke ? 1 : 2));
+  cfg.days = static_cast<int>(bench::env_double("TL_BENCH_DAYS", smoke ? 1 : 3));
   cfg.finalize();
   cfg.population.count = static_cast<std::uint32_t>(
-      bench::env_double("TL_BENCH_UES", smoke ? 2'000 : 20'000));
+      bench::env_double("TL_BENCH_UES", smoke ? 2'000 : 40'000));
+  const int sweep_reps = std::max(
+      1, static_cast<int>(bench::env_double("TL_BENCH_REPS", smoke ? 2 : 1)));
 
   const unsigned hw = exec::ThreadPool::resolve_threads(0);
   std::vector<unsigned> sweep{1, 2, 4};
@@ -446,7 +540,7 @@ int main(int argc, char** argv) {
       const ProfileMeasurement p = profile_run(sim, threads, cfg.days, cfg.seed,
                                                cfg.population.count, wal_dir);
       std::cerr << "[bench_throughput] threads=" << threads
-                << " wall_ms=" << p.run.wall_ms
+                << " wall_ms=" << p.run.wall_ms << " cpu_ms=" << p.run.cpu_ms
                 << " shard_sim_s=" << p.shard_sim.seconds
                 << " shard_merge_s=" << p.shard_merge.seconds
                 << " wal_commit_s=" << p.wal_commit.seconds << " crc=" << std::hex
@@ -467,32 +561,58 @@ int main(int argc, char** argv) {
     }
 
     std::ofstream json{out_path, std::ios::trunc};
+    const Measurement& serial = profs.front().run;
     json << "[\n";
     for (std::size_t i = 0; i < profs.size(); ++i) {
       const auto& p = profs[i];
       const double wall_s = p.run.wall_ms / 1000.0;
-      // Shard stage sums accumulate across workers; dividing by the worker
-      // count gives the ideal (perfectly balanced) wall share. Merge and WAL
-      // run on the coordinating thread, so their sums are already wall.
+      // Stage span sums accumulate across concurrent workers, so they are
+      // aggregate busy seconds, NOT wall time — the old single
+      // "accounted_wall_pct" summed them against wall and reported >100% on
+      // oversubscribed machines. Report the aggregate and the wall-normalized
+      // shares separately: dividing the sim sum by the worker count gives the
+      // ideal (perfectly balanced) wall share; merge and WAL run on the
+      // coordinating thread, so their sums are already wall.
+      const double aggregate_s =
+          p.shard_sim.seconds + p.shard_merge.seconds + p.wal_commit.seconds;
       const double sim_wall_s =
           p.run.threads > 0
               ? p.shard_sim.seconds / static_cast<double>(p.run.threads)
               : p.shard_sim.seconds;
-      const double accounted =
-          sim_wall_s + p.shard_merge.seconds + p.wal_commit.seconds;
+      const auto share_pct = [wall_s](double s) {
+        return wall_s > 0 ? s / wall_s * 100.0 : 0.0;
+      };
+      // The serial path books one whole-population sim span per day; sharded
+      // arms book one per shard per day. shards_per_day makes the two arm
+      // shapes comparable instead of leaving an 8-vs-1 span-count mystery.
+      const std::uint64_t shards_per_day =
+          cfg.days > 0 ? p.shard_sim.spans / static_cast<std::uint64_t>(cfg.days)
+                       : p.shard_sim.spans;
+      const double speedup =
+          p.run.wall_ms > 0 ? serial.wall_ms / p.run.wall_ms : 0.0;
+      const double inflation =
+          serial.cpu_ms > 0 ? p.run.cpu_ms / serial.cpu_ms : 1.0;
       json << "  {\"threads\": " << p.run.threads
+           << ", \"hw_threads\": " << hw
            << ", \"wall_ms\": " << static_cast<std::uint64_t>(p.run.wall_ms)
+           << ", \"cpu_ms\": " << static_cast<std::uint64_t>(p.run.cpu_ms)
            << ", \"ue_days_per_sec\": "
            << static_cast<std::uint64_t>(p.run.ue_days_per_sec)
+           << ", \"speedup_vs_serial\": " << speedup
+           << ", \"cpu_inflation_vs_serial\": " << inflation
            << ", \"stages\": {"
            << "\"shard_sim_s\": " << p.shard_sim.seconds
            << ", \"shard_sim_spans\": " << p.shard_sim.spans
+           << ", \"shards_per_day\": " << shards_per_day
            << ", \"shard_merge_s\": " << p.shard_merge.seconds
            << ", \"shard_merge_spans\": " << p.shard_merge.spans
            << ", \"wal_commit_s\": " << p.wal_commit.seconds
            << ", \"wal_commit_spans\": " << p.wal_commit.spans
-           << ", \"accounted_wall_pct\": "
-           << (wall_s > 0 ? accounted / wall_s * 100.0 : 0.0) << "}"
+           << ", \"aggregate_s\": " << aggregate_s
+           << ", \"sim_wall_share_pct\": " << share_pct(sim_wall_s)
+           << ", \"merge_wall_share_pct\": " << share_pct(p.shard_merge.seconds)
+           << ", \"wal_wall_share_pct\": " << share_pct(p.wal_commit.seconds)
+           << "}"
            << ", \"records\": " << p.run.records << ", \"seed\": " << cfg.seed
            << "}" << (i + 1 < profs.size() ? "," : "") << "\n";
     }
@@ -502,15 +622,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "[bench_throughput] wrote " << out_path << "\n";
-    return 0;
+
+    std::vector<Measurement> runs;
+    for (const auto& p : profs) runs.push_back(p.run);
+    return check_scaling_gates(runs, smoke, hw) ? 0 : 1;
   }
 
   std::vector<Measurement> results;
   for (const unsigned threads : sweep) {
-    const Measurement m =
-        timed_run(sim, threads, cfg.days, cfg.seed, cfg.population.count);
+    const Measurement m = best_timed_run(sim, threads, cfg.days, cfg.seed,
+                                         cfg.population.count, sweep_reps);
     std::cerr << "[bench_throughput] threads=" << m.threads << " wall_ms=" << m.wall_ms
-              << " ue_days/s=" << m.ue_days_per_sec
+              << " cpu_ms=" << m.cpu_ms << " ue_days/s=" << m.ue_days_per_sec
               << " records/s=" << m.records_per_sec << " records=" << m.records
               << " crc=" << std::hex << m.checksum << std::dec << "\n";
     results.push_back(m);
@@ -531,10 +654,19 @@ int main(int argc, char** argv) {
   json << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& m = results[i];
-    json << "  {\"threads\": " << m.threads << ", \"ue_days_per_sec\": "
+    const double speedup =
+        m.wall_ms > 0 ? results.front().wall_ms / m.wall_ms : 0.0;
+    const double inflation = results.front().cpu_ms > 0
+                                 ? m.cpu_ms / results.front().cpu_ms
+                                 : 1.0;
+    json << "  {\"threads\": " << m.threads << ", \"hw_threads\": " << hw
+         << ", \"ue_days_per_sec\": "
          << static_cast<std::uint64_t>(m.ue_days_per_sec)
          << ", \"records_per_sec\": " << static_cast<std::uint64_t>(m.records_per_sec)
          << ", \"wall_ms\": " << static_cast<std::uint64_t>(m.wall_ms)
+         << ", \"cpu_ms\": " << static_cast<std::uint64_t>(m.cpu_ms)
+         << ", \"speedup_vs_serial\": " << speedup
+         << ", \"cpu_inflation_vs_serial\": " << inflation
          << ", \"seed\": " << cfg.seed << "}" << (i + 1 < results.size() ? "," : "")
          << "\n";
   }
@@ -545,13 +677,5 @@ int main(int argc, char** argv) {
   }
   std::cerr << "[bench_throughput] wrote " << out_path << "\n";
 
-  // Report (don't enforce) the speedup: CI runners and laptops differ too
-  // much for a hard local gate; the JSON is the tracked artifact.
-  for (const auto& m : results) {
-    if (m.threads != 1 && results.front().wall_ms > 0) {
-      std::cerr << "[bench_throughput] speedup x" << m.threads << " threads: "
-                << results.front().wall_ms / m.wall_ms << "\n";
-    }
-  }
-  return 0;
+  return check_scaling_gates(results, smoke, hw) ? 0 : 1;
 }

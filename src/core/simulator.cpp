@@ -10,6 +10,7 @@
 #include "core/checkpoint_codec.hpp"
 #include "exec/buffers.hpp"
 #include "exec/sharded_runner.hpp"
+#include "govern/governor.hpp"
 #include "io/file.hpp"
 #include "mobility/metrics.hpp"
 #include "obs/scoped_timer.hpp"
@@ -462,32 +463,60 @@ void Simulator::run_day_serial(int day) {
   records_emitted_ += out.records;
 }
 
-void Simulator::run_day_sharded(int day, unsigned threads) {
-  if (runner_ == nullptr || runner_->thread_count() != threads ||
-      runner_obs_epoch_ != obs::global_epoch()) {
-    exec::ShardedDayRunner::Options opt;
-    opt.threads = threads;
-    runner_ = std::make_unique<exec::ShardedDayRunner>(opt);
-    runner_obs_epoch_ = obs::global_epoch();
-  }
-  // One private world-view per shard: procedures book into the shard's own
-  // CoreNetwork and records/metrics land in shard buffers, so workers share
-  // nothing mutable. The merge callback then replays each shard into the
-  // real sinks in ascending shard order — contiguous UE ranges, so the
-  // stream every sink (and the durable log) sees is the serial stream.
+// One private world-view per shard: procedures book into the shard's own
+// CoreNetwork and records/metrics land in shard buffers, so workers share
+// nothing mutable. The slab persists across days — the fix for the
+// parallel-path slowdown was to stop rebuilding it (fresh CoreNetwork +
+// empty buffers, re-paying allocation growth and governor syncs) every day.
+struct Simulator::DayShards {
   struct Shard {
     corenet::CoreNetwork core;
     exec::RecordBuffer records;
     exec::MetricsBuffer metrics;
     std::uint64_t emitted = 0;
+    /// Previous day's emission counts: the reserve() hints that let a cold
+    /// (or geometry-rebuilt) shard pre-size instead of growing push by push.
+    std::size_t record_hint = 0;
+    std::size_t metrics_hint = 0;
   };
+  std::vector<Shard> shards;
+};
+
+void Simulator::run_day_sharded(int day, unsigned threads) {
+  if (runner_ == nullptr || runner_->thread_count() != threads ||
+      runner_obs_epoch_ != obs::global_epoch()) {
+    exec::ShardedDayRunner::Options opt;
+    opt.threads = threads;
+    opt.min_items_per_shard = config_.min_ues_per_shard;
+    runner_ = std::make_unique<exec::ShardedDayRunner>(opt);
+    runner_obs_epoch_ = obs::global_epoch();
+  }
   const auto& ues = population_->ues();
-  std::vector<Shard> shards(runner_->shard_count(ues.size()));
+  const std::size_t shard_count = runner_->shard_count(ues.size());
+  if (day_shards_ == nullptr) day_shards_ = std::make_unique<DayShards>();
+  auto& shards = day_shards_->shards;
+  if (shards.size() != shard_count || !config_.reuse_shard_state) {
+    // Geometry change (thread sweep, population change) or reuse disabled:
+    // retained capacities and hints belong to different UE ranges — drop
+    // the slab and let the day grow it organically, as a fresh run would.
+    shards.clear();
+    shards.resize(shard_count);
+  }
   const bool want_metrics = config_.collect_ue_metrics && !metrics_sinks_.empty();
   runner_->run(
       ues.size(),
       [&](std::size_t shard, std::size_t first, std::size_t last) {
-        Shard& s = shards[shard];
+        DayShards::Shard& s = shards[shard];
+        // Reset on ENTRY, not after merge: an aborted day leaves stale
+        // contents behind, and entry-reset makes every attempt (including a
+        // transactional replay of the same day) self-contained. clear()
+        // keeps the warm allocation; reserve() only acts on a cold shard.
+        s.core = corenet::CoreNetwork{};
+        s.records.clear();
+        s.records.reserve(s.record_hint);
+        s.metrics.clear();
+        if (want_metrics) s.metrics.reserve(s.metrics_hint);
+        s.emitted = 0;
         telemetry::RecordSink* record_sink = &s.records;
         telemetry::MetricsSink* metrics_sink = &s.metrics;
         EmitFrame out;
@@ -506,7 +535,9 @@ void Simulator::run_day_sharded(int day, unsigned threads) {
         s.emitted = out.records;
       },
       [&](std::size_t shard) {
-        Shard& s = shards[shard];
+        DayShards::Shard& s = shards[shard];
+        s.record_hint = s.records.size();
+        s.metrics_hint = s.metrics.size();
         s.records.drain_to({sinks_.data(), sinks_.size()});
         s.metrics.drain_to({metrics_sinks_.data(), metrics_sinks_.size()});
         // Counters shard-reduce in merge order: exact integer sums, no
@@ -514,6 +545,16 @@ void Simulator::run_day_sharded(int day, unsigned threads) {
         core_.accumulate(s.core);
         records_emitted_ += s.emitted;
       });
+  // Reuse trades resident bytes for allocation-free steady state; under
+  // governor pressure (or with reuse disabled) give the memory back at the
+  // day boundary — exactly where the old always-release behavior sat.
+  govern::MemoryBudget* governor = govern::global_governor();
+  const bool pressured =
+      governor != nullptr && governor->level() != govern::PressureLevel::kSteady;
+  if (pressured || !config_.reuse_shard_state) {
+    shards.clear();
+    shards.shrink_to_fit();
+  }
 }
 
 void Simulator::simulate_legacy_ue_day(const devices::Ue& ue,

@@ -194,6 +194,11 @@ class Simulator {
 
   void run_day_serial(int day);
   void run_day_sharded(int day, unsigned threads);
+  /// Per-shard staging state (private CoreNetwork + record/metrics buffers)
+  /// kept across days: shards reset-not-reallocate on entry, so day N+1
+  /// simulates into warm buffers instead of re-paying allocation growth and
+  /// governor syncs in the hot loop. Defined in simulator.cpp.
+  struct DayShards;
   /// Defined in simulator_supervised.cpp (the only TU that needs the
   /// supervisor's full type).
   void run_day_supervised(int day);
@@ -255,6 +260,9 @@ class Simulator {
   /// Parallel engine, created on the first sharded day and kept across days
   /// (and across set_threads() calls that don't change the count).
   std::unique_ptr<exec::ShardedDayRunner> runner_;
+  /// Reusable shard staging slab (see DayShards). Rebuilt only when the
+  /// shard geometry changes; released wholesale under memory pressure.
+  std::unique_ptr<DayShards> day_shards_;
   supervise::StudySupervisor* supervisor_ = nullptr;
   /// UEs withdrawn from the study by supervised degradation (sorted,
   /// unique). Part of the checkpoint: resume must skip the same UEs.

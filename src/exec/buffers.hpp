@@ -15,6 +15,15 @@
 // construction (null-safe no-op without a governor) and syncs on capacity
 // changes — a relaxed atomic delta, safe from worker threads, paid only
 // when the vector actually grows.
+//
+// Buffers are built to be REUSED across days: clear() empties the contents
+// but keeps the allocation (and its governor accounting) in place, and
+// reserve() pre-grows in the same doubling steps push-growth would take, so
+// a warm buffer's capacity trajectory — and therefore its byte accounting —
+// is exactly what a fresh buffer reaching the same high-water mark would
+// have reported. Rebuilding the shard vector every day was the root of the
+// sharded path's allocation churn (see DESIGN §4's post-mortem); the
+// simulator now keeps one slab of these per shard for the whole study.
 
 #include <cstddef>
 #include <span>
@@ -42,8 +51,10 @@ class AccountedVector {
   AccountedVector(AccountedVector&& other) noexcept
       : items_(std::move(other.items_)),
         account_(other.account_),
+        accounted_capacity_(other.accounted_capacity_),
         accounted_bytes_(other.accounted_bytes_) {
     other.items_.clear();
+    other.accounted_capacity_ = 0;
     other.accounted_bytes_ = 0;
   }
   AccountedVector& operator=(AccountedVector&& other) noexcept {
@@ -51,8 +62,10 @@ class AccountedVector {
       account_.sub(accounted_bytes_);
       items_ = std::move(other.items_);
       account_ = other.account_;
+      accounted_capacity_ = other.accounted_capacity_;
       accounted_bytes_ = other.accounted_bytes_;
       other.items_.clear();
+      other.accounted_capacity_ = 0;
       other.accounted_bytes_ = 0;
     }
     return *this;
@@ -62,7 +75,28 @@ class AccountedVector {
 
   void push(const T& item) {
     items_.push_back(item);
-    if (items_.capacity() * sizeof(T) != accounted_bytes_) sync();
+    // Governor sync is batched behind capacity changes: the hot path pays a
+    // single pointer-sized compare per push, and the (atomic) accounting
+    // delta only when the vector actually reallocates — which a warm,
+    // pre-reserved buffer never does.
+    if (items_.capacity() != accounted_capacity_) sync();
+  }
+
+  /// Empties the contents but keeps the allocation: the day-over-day reuse
+  /// primitive. Accounting is unchanged (capacity is what's accounted).
+  void clear() noexcept { items_.clear(); }
+
+  /// Pre-grows to hold at least `n` items, stepping capacity through the
+  /// same doubling sequence push-growth uses. Matching the organic growth
+  /// pattern keeps the governor's byte trajectory identical whether a
+  /// buffer was warmed by a hint or grown by pushes — which is what lets
+  /// the reuse tests pin peak accounting against a fresh-state run.
+  void reserve(std::size_t n) {
+    if (n <= items_.capacity()) return;
+    std::size_t cap = std::max<std::size_t>(1, items_.capacity());
+    while (cap < n) cap *= 2;
+    items_.reserve(cap);
+    sync();
   }
 
   void release() {
@@ -75,7 +109,9 @@ class AccountedVector {
 
  private:
   void sync() {
-    const std::uint64_t bytes = items_.capacity() * sizeof(T);
+    accounted_capacity_ = items_.capacity();
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(accounted_capacity_) * sizeof(T);
     if (bytes >= accounted_bytes_) {
       account_.add(bytes - accounted_bytes_);
     } else {
@@ -86,6 +122,7 @@ class AccountedVector {
 
   std::vector<T> items_;
   govern::Accountant account_;
+  std::size_t accounted_capacity_ = 0;
   std::uint64_t accounted_bytes_ = 0;
 };
 
@@ -99,14 +136,24 @@ class RecordBuffer final : public telemetry::RecordSink {
     buffer_.push(record);
   }
 
-  /// Replays every buffered record, in arrival order, through `sinks`, then
-  /// releases the buffer's memory (a drained shard holds nothing).
+  /// Hands the whole buffered run to each sink in order (one consume_span
+  /// per sink — batch merge, not per-record replay), then clears the buffer
+  /// KEEPING its capacity: the next day's shard writes into warm memory
+  /// instead of re-paying allocation growth. Call release() to give the
+  /// memory back (end of study, or a shard slab being torn down).
   void drain_to(std::span<telemetry::RecordSink* const> sinks) {
-    for (const auto& record : buffer_.items()) {
-      for (auto* sink : sinks) sink->consume(record);
-    }
-    buffer_.release();
+    for (auto* sink : sinks) sink->consume_span(buffer_.items());
+    buffer_.clear();
   }
+
+  /// Pre-grows for an expected record count (e.g. the previous day's
+  /// emission count for this shard). No-op when already large enough.
+  void reserve(std::size_t expected) { buffer_.reserve(expected); }
+  /// Empties without releasing capacity (reuse) — the simulate callback
+  /// resets its shard on entry so a retried attempt can never double-emit.
+  void clear() noexcept { buffer_.clear(); }
+  /// Releases contents AND capacity (accounting drops to zero).
+  void release() { buffer_.release(); }
 
   std::size_t size() const noexcept { return buffer_.items().size(); }
   const std::vector<telemetry::HandoverRecord>& records() const noexcept {
@@ -126,11 +173,13 @@ class MetricsBuffer final : public telemetry::MetricsSink {
   }
 
   void drain_to(std::span<telemetry::MetricsSink* const> sinks) {
-    for (const auto& row : buffer_.items()) {
-      for (auto* sink : sinks) sink->consume(row);
-    }
-    buffer_.release();
+    for (auto* sink : sinks) sink->consume_span(buffer_.items());
+    buffer_.clear();
   }
+
+  void reserve(std::size_t expected) { buffer_.reserve(expected); }
+  void clear() noexcept { buffer_.clear(); }
+  void release() { buffer_.release(); }
 
   std::size_t size() const noexcept { return buffer_.items().size(); }
 

@@ -35,8 +35,15 @@ ShardedDayRunner::ShardedDayRunner(Options options)
 }
 
 std::size_t ShardedDayRunner::shard_count(std::size_t item_count) const noexcept {
-  const std::size_t cap = static_cast<std::size_t>(pool_.size()) *
-                          static_cast<std::size_t>(options_.shards_per_thread);
+  std::size_t cap = static_cast<std::size_t>(pool_.size()) *
+                    static_cast<std::size_t>(options_.shards_per_thread);
+  if (options_.min_items_per_shard > 1) {
+    // Size floor: never split finer than min_items_per_shard items/shard.
+    // Contiguous ranges merge in ascending order either way, so the shard
+    // count is a pure scheduling knob — output bytes are invariant under it.
+    cap = std::min(cap, std::max<std::size_t>(
+                            1, item_count / options_.min_items_per_shard));
+  }
   return std::max<std::size_t>(1, std::min(item_count, cap));
 }
 

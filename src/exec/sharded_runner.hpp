@@ -33,8 +33,18 @@ class ShardedDayRunner {
     /// Worker threads; 0 = all hardware threads.
     unsigned threads = 0;
     /// Shards per worker (> 1 lets finished workers steal ahead of a slow
-    /// shard instead of idling at the merge barrier).
-    unsigned shards_per_thread = 4;
+    /// shard instead of idling at the merge barrier). Default 2: the old
+    /// default of 4 oversharded small runs — 8 tiny shards at 2 threads,
+    /// each re-paying per-shard setup (buffer growth, state reset) for a
+    /// few milliseconds of simulation. Two per worker keeps one shard of
+    /// slack for load balancing at a quarter of the fixed cost.
+    unsigned shards_per_thread = 2;
+    /// Floor on shard size: shard_count never splits finer than one shard
+    /// per `min_items_per_shard` items (1 = no floor, the generic default —
+    /// the runner cannot know what an item costs). Callers whose items are
+    /// cheap (the simulator's UE-days) raise it so tiny populations do not
+    /// fan out into shards whose fixed setup cost exceeds their work.
+    std::size_t min_items_per_shard = 1;
     /// Backpressure window: at most this many shards may be past the gate
     /// (simulating or simulated-but-unmerged) ahead of the merge floor,
     /// bounding the buffered-records footprint to O(window) shards instead

@@ -51,8 +51,12 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
       throw std::runtime_error{"ThreadPool::submit: pool is shut down"};
     }
     queue_.push_back(std::move(packaged));
+    // Increment while still holding the lock: a worker can only pop (and
+    // then decrement) after this unlock, so the gauge's running sum is
+    // always >= 0. Incrementing after the unlock let a fast worker
+    // decrement first and expositions scrape a transient depth of -1.
+    queue_depth_.add(1.0);
   }
-  queue_depth_.add(1.0);
   work_available_.notify_one();
   return future;
 }

@@ -119,9 +119,13 @@ class SupervisionError : public std::runtime_error {
 
 struct SupervisorOptions {
   /// Worker threads (0 = hardware), shards per worker — same semantics as
-  /// ShardedDayRunner::Options.
+  /// ShardedDayRunner::Options. Supervision keeps the finer default shard
+  /// grain (4/worker): smaller shards are cheaper to retry and bisect,
+  /// which matters more here than shaving fixed per-shard cost.
   unsigned threads = 0;
   unsigned shards_per_thread = 4;
+  /// Floor on items per shard (ShardedDayRunner::Options semantics).
+  std::size_t min_items_per_shard = 1;
 
   /// Re-attempts allowed per shard after its first try (per bisection round).
   int max_retries = 4;

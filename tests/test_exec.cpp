@@ -21,6 +21,7 @@
 
 #include "core/simulator.hpp"
 #include "exec/buffers.hpp"
+#include "govern/governor.hpp"
 #include "exec/sharded_runner.hpp"
 #include "exec/thread_pool.hpp"
 #include "io/file.hpp"
@@ -472,6 +473,112 @@ TEST(Determinism, DurableLogBytesAreIdenticalAcrossThreadCounts) {
   // WAL frames, day commit markers, embedded checkpoints, segment
   // boundaries: all byte-identical to the serial run.
   EXPECT_EQ(parallel, serial);
+}
+
+// --- shard-state reuse across days -------------------------------------------
+//
+// run_day_sharded keeps its per-shard slab (CoreNetwork + record/metrics
+// buffers) alive across days, resetting it at simulate-callback entry;
+// StudyConfig::reuse_shard_state = false restores the old
+// reconstruct-every-day behavior. The two modes must be indistinguishable in
+// every observable: record bytes, metrics rows, WAL bytes, engine counters,
+// and the governor's peak accounting (warm buffers re-reserve through the
+// same capacity-doubling brackets organic growth uses, so the byte
+// high-water mark is the same trajectory either way).
+
+struct ReuseCapture {
+  std::vector<std::uint8_t> record_bytes;
+  std::vector<UeDayMetrics> metrics;
+  std::uint64_t records_emitted = 0;
+  std::uint64_t total_handovers = 0;
+  std::string wal;
+  std::uint64_t governor_peak = 0;
+};
+
+ReuseCapture run_reuse_arm(bool reuse, unsigned threads, const std::string& dir,
+                           bool switch_threads_mid_study = false) {
+  StudyConfig cfg = StudyConfig::test_scale();
+  cfg.days = 3;
+  cfg.population.count = 2'000;
+  cfg.reuse_shard_state = reuse;
+  Simulator sim{cfg};
+
+  govern::MemoryBudget budget;  // budget 0: accounting only, always Steady
+  govern::ScopedGlobalGovernor install{&budget};
+
+  RecordLog::Options opt;
+  opt.directory = dir;
+  opt.max_segment_bytes = 24 * 1024;
+  RecordLog log{io::StdioFileSystem::instance(), opt};
+  telemetry::DurableRecordSink durable{log};
+  log.open();
+
+  telemetry::SignalingDataset dataset;
+  telemetry::UeDayStore ue_days;
+  DayCheckpoint day0;
+  day0.seed = cfg.seed;
+  sim.set_threads(threads);
+  sim.restore(day0);
+  sim.attach_durable_log(&durable);
+  sim.add_sink(&dataset);
+  sim.add_metrics_sink(&ue_days);
+  if (switch_threads_mid_study) {
+    sim.run_day(0);
+    sim.set_threads(threads == 2 ? 4 : 2);  // shard geometry changes mid-study
+    sim.run_day(1);
+    sim.run_day(2);
+  } else {
+    sim.run();
+  }
+  sim.remove_sink(&dataset);
+  sim.remove_sink(&durable);
+  sim.remove_metrics_sink(&ue_days);
+
+  ReuseCapture c;
+  for (const auto& record : dataset.records()) {
+    RecordLog::encode_record(record, c.record_bytes);
+  }
+  c.metrics.assign(ue_days.rows().begin(), ue_days.rows().end());
+  c.records_emitted = sim.records_emitted();
+  c.total_handovers = sim.core_network().total_handovers();
+  c.wal = log_bytes(dir);
+  c.governor_peak = budget.peak_bytes();
+  return c;
+}
+
+void expect_reuse_eq(const ReuseCapture& warm, const ReuseCapture& fresh) {
+  ASSERT_FALSE(fresh.record_bytes.empty());
+  ASSERT_EQ(warm.record_bytes, fresh.record_bytes);
+  ASSERT_EQ(warm.metrics.size(), fresh.metrics.size());
+  for (std::size_t i = 0; i < fresh.metrics.size(); ++i) {
+    expect_metrics_eq(warm.metrics[i], fresh.metrics[i], i);
+  }
+  EXPECT_EQ(warm.records_emitted, fresh.records_emitted);
+  EXPECT_EQ(warm.total_handovers, fresh.total_handovers);
+  ASSERT_FALSE(fresh.wal.empty());
+  EXPECT_EQ(warm.wal, fresh.wal);
+  EXPECT_EQ(warm.governor_peak, fresh.governor_peak);
+}
+
+TEST(ShardStateReuse, OutputsIdenticalToFreshStateAcrossThreadCounts) {
+  for (const unsigned threads : {2u, 4u, 0u}) {  // 0 = hardware concurrency
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    TempDir fresh_dir{"reuse_fresh_" + std::to_string(threads)};
+    TempDir warm_dir{"reuse_warm_" + std::to_string(threads)};
+    const ReuseCapture fresh = run_reuse_arm(false, threads, fresh_dir.path);
+    const ReuseCapture warm = run_reuse_arm(true, threads, warm_dir.path);
+    expect_reuse_eq(warm, fresh);
+  }
+}
+
+TEST(ShardStateReuse, SurvivesMidStudyThreadCountChange) {
+  // Day 0 at 2 workers, days 1-2 at 4: the shard count changes under the
+  // reused slab, which must rebuild without leaking day-0 state into day 1.
+  TempDir fresh_dir{"reuse_fresh_switch"};
+  TempDir warm_dir{"reuse_warm_switch"};
+  const ReuseCapture fresh = run_reuse_arm(false, 2, fresh_dir.path, true);
+  const ReuseCapture warm = run_reuse_arm(true, 2, warm_dir.path, true);
+  expect_reuse_eq(warm, fresh);
 }
 
 }  // namespace
